@@ -1,0 +1,116 @@
+"""Ablation benches for the per-application claims in section III.
+
+Each bench isolates one knob the paper calls out:
+
+* segmentation time follows the number of segments, not the image size;
+* disparity cost grows with the search range (its data-intensive loop);
+* texture-synthesis runtime is iteration-bound, insensitive to texture
+  class;
+* localization cost follows the particle count, not the input label;
+* face-detection scan cost drops when the cascade rejects early (the
+  attentional-cascade effect).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import InputSize, KernelProfiler
+from repro.core.inputs import (
+    face_scene,
+    robot_world,
+    segmentation_image,
+    stereo_pair,
+    texture_sample,
+)
+from repro.disparity import dense_disparity
+from repro.face import detect_faces, trained_cascade
+from repro.localization import MonteCarloLocalizer
+from repro.segmentation import segment_image
+from repro.texture import synthesize_from_exemplar
+
+
+class TestSegmentationScaling:
+    """Paper: "segmentation is constrained by the number of image
+    segments and not by the image size"."""
+
+    @pytest.mark.parametrize("n_segments", [2, 4, 6])
+    def test_segments_knob(self, benchmark, n_segments):
+        image, _truth = segmentation_image(InputSize.SQCIF, 0,
+                                           n_regions=n_segments)
+        benchmark.pedantic(
+            segment_image, args=(image,),
+            kwargs={"n_segments": n_segments},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+
+    @pytest.mark.parametrize("size", [InputSize.SQCIF, InputSize.CIF],
+                             ids=lambda s: s.name)
+    def test_size_knob(self, benchmark, size):
+        image, _truth = segmentation_image(size, 0, n_regions=4)
+        benchmark.pedantic(
+            segment_image, args=(image,), kwargs={"n_segments": 4},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+
+
+class TestDisparitySearchRange:
+    """Disparity's dominant loop is over candidate shifts: cost is linear
+    in the search range."""
+
+    @pytest.mark.parametrize("max_disparity", [8, 16, 32])
+    def test_search_range(self, benchmark, max_disparity):
+        pair = stereo_pair(InputSize.QCIF, 0)
+        benchmark.pedantic(
+            dense_disparity, args=(pair.left, pair.right),
+            kwargs={"max_disparity": max_disparity},
+            rounds=2, iterations=1, warmup_rounds=0,
+        )
+
+
+class TestTextureClassInsensitivity:
+    """Paper: "The execution time for all the image types is almost
+    similar due to the fixed number of iterations"."""
+
+    @pytest.mark.parametrize("kind", ["stochastic", "structural"])
+    def test_texture_class(self, benchmark, kind):
+        exemplar = texture_sample(InputSize.SQCIF, 0, kind)
+        benchmark.pedantic(
+            synthesize_from_exemplar, args=(exemplar,),
+            kwargs={"iterations": 4, "seed": 0},
+            rounds=2, iterations=1, warmup_rounds=0,
+        )
+
+
+class TestLocalizationParticles:
+    """Localization cost follows the particle count."""
+
+    @pytest.mark.parametrize("n_particles", [200, 800])
+    def test_particles_knob(self, benchmark, n_particles):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=12)
+
+        def run():
+            localizer = MonteCarloLocalizer(
+                world=world, n_particles=n_particles, seed=0
+            )
+            for control, ranges in zip(world.controls, world.measurements):
+                localizer.step(control, ranges)
+
+        benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+
+
+class TestCascadeEarlyExit:
+    """The attentional cascade's early rejection: scanning a clutter-only
+    scene costs less than scanning one full of faces."""
+
+    @pytest.mark.parametrize("n_faces", [0, 6])
+    def test_scan_cost(self, benchmark, n_faces):
+        cascade = trained_cascade(0)
+        scene = face_scene(InputSize.QCIF, 0, n_faces=n_faces)
+        profiler = KernelProfiler()
+        benchmark.pedantic(
+            detect_faces, args=(cascade, scene.image),
+            kwargs={"profiler": profiler},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        if n_faces:
+            assert profiler.kernel_seconds["ExtractFaces"] > 0

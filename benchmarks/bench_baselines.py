@@ -1,0 +1,167 @@
+"""Baseline comparisons for the design choices DESIGN.md calls out.
+
+Each pair benches the suite's chosen algorithm against the classic
+alternative on the same workload, and asserts both produce acceptable
+results (the speed relation is visible in the benchmark table):
+
+* texture: parametric Portilla-Simoncelli projection vs. Efros-Leung
+  non-parametric sampling;
+* segmentation: k-way Yu-Shi discretization vs. recursive two-way cuts;
+* SVM: interior-point dual solve vs. SMO;
+* disparity: SSD vs. SAD block costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import InputSize
+from repro.core.inputs import segmentation_image, stereo_pair, svm_dataset, \
+    texture_sample
+from repro.disparity import (
+    dense_disparity,
+    dense_disparity_sad,
+    disparity_error,
+)
+from repro.segmentation import label_purity, segment_image, segment_recursive
+from repro.svm import gram_matrix, linear_kernel, solve_svm_dual, \
+    solve_svm_dual_smo
+from repro.texture import analyze, synthesize_efros_leung, \
+    synthesize_from_exemplar
+
+
+class TestTextureParametricVsNonparametric:
+    def test_parametric(self, benchmark):
+        exemplar = texture_sample(InputSize.SQCIF, 0, "structural")
+        result = benchmark.pedantic(
+            synthesize_from_exemplar, args=(exemplar,),
+            kwargs={"iterations": 4, "seed": 0},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert result.final_residual < result.residuals[0] * 1.05
+
+    def test_nonparametric(self, benchmark):
+        # EL is per-pixel Python: a much smaller instance keeps the bench
+        # tractable while showing the asymptotic gap in the table.
+        exemplar = texture_sample(InputSize.SQCIF, 0, "structural")[:24, :24]
+        result = benchmark.pedantic(
+            synthesize_efros_leung, args=(exemplar, (32, 32)),
+            kwargs={"window": 7, "seed": 0},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        target = analyze(exemplar, n_levels=2)
+        synth = analyze(result.texture, n_levels=2)
+        noise_stats = analyze(
+            np.random.default_rng(0).random((32, 32)), n_levels=2
+        )
+        assert target.distance(synth) < target.distance(noise_stats)
+
+
+class TestSegmentationKWayVsRecursive:
+    def test_kway(self, benchmark):
+        image, truth = segmentation_image(InputSize.SQCIF, 0, n_regions=4)
+        result = benchmark.pedantic(
+            segment_image, args=(image,), kwargs={"n_segments": 4},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert label_purity(result.labels, truth) > 0.85
+
+    def test_recursive(self, benchmark):
+        image, truth = segmentation_image(InputSize.SQCIF, 0, n_regions=4)
+        result = benchmark.pedantic(
+            segment_recursive, args=(image,), kwargs={"n_segments": 4},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert label_purity(result.labels, truth) > 0.75
+
+
+class TestSvmIpmVsSmo:
+    def _problem(self):
+        data = svm_dataset(InputSize.QCIF, 0, dim=16)
+        gram = gram_matrix(linear_kernel(), data.train_x)
+        return gram, data.train_y
+
+    def test_interior_point(self, benchmark):
+        gram, labels = self._problem()
+        signed = gram * np.outer(labels, labels)
+        result = benchmark.pedantic(
+            solve_svm_dual, args=(signed, labels), kwargs={"c": 1.0},
+            rounds=2, iterations=1, warmup_rounds=0,
+        )
+        assert abs(labels @ result.alpha) < 1e-6
+
+    def test_smo(self, benchmark):
+        gram, labels = self._problem()
+        result = benchmark.pedantic(
+            solve_svm_dual_smo, args=(gram, labels), kwargs={"c": 1.0},
+            rounds=2, iterations=1, warmup_rounds=0,
+        )
+        assert abs(labels @ result.alpha) < 1e-6
+
+    def test_solvers_agree(self, benchmark):
+        gram, labels = self._problem()
+        signed = gram * np.outer(labels, labels)
+
+        def both():
+            ipm = solve_svm_dual(signed, labels, c=1.0)
+            smo = solve_svm_dual_smo(gram, labels, c=1.0)
+            return ipm.alpha, smo.alpha
+
+        ipm_alpha, smo_alpha = benchmark.pedantic(
+            both, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+        def objective(a):
+            return 0.5 * a @ signed @ a - a.sum()
+
+        assert objective(ipm_alpha) == pytest.approx(
+            objective(smo_alpha), abs=0.1
+        )
+
+
+class TestDisparitySsdVsSad:
+    @pytest.mark.parametrize("metric", ["ssd", "sad"])
+    def test_metric(self, benchmark, metric):
+        pair = stereo_pair(InputSize.QCIF, 0, max_disparity=12)
+        matcher = dense_disparity if metric == "ssd" else dense_disparity_sad
+        result = benchmark.pedantic(
+            matcher, args=(pair.left, pair.right),
+            kwargs={"max_disparity": 16},
+            rounds=2, iterations=1, warmup_rounds=0,
+        )
+        assert disparity_error(result, pair.true_disparity) < 1.0
+
+
+class TestTrackingSparseVsDense:
+    """Sparse KLT follows a few dozen features; dense LK solves every
+    pixel.  Both must agree on the global motion."""
+
+    def test_sparse(self, benchmark):
+        from repro.core.inputs import sequence
+        from repro.tracking import good_features, median_motion, \
+            track_features
+
+        seq = sequence(InputSize.QCIF, 0, n_frames=2)
+
+        def run():
+            features = good_features(seq.frames[0], max_features=48)
+            tracks = track_features(seq.frames[0], seq.frames[1], features)
+            return median_motion([t for t in tracks if t.converged])
+
+        dy, dx = benchmark.pedantic(run, rounds=2, iterations=1,
+                                    warmup_rounds=0)
+        assert dy == pytest.approx(seq.true_motion[0], abs=0.2)
+        assert dx == pytest.approx(seq.true_motion[1], abs=0.2)
+
+    def test_dense(self, benchmark):
+        from repro.core.inputs import sequence
+        from repro.tracking import iterative_dense_flow
+
+        seq = sequence(InputSize.QCIF, 0, n_frames=2)
+        field = benchmark.pedantic(
+            iterative_dense_flow, args=(seq.frames[0], seq.frames[1]),
+            kwargs={"iterations": 4},
+            rounds=2, iterations=1, warmup_rounds=0,
+        )
+        dy, dx = field.median_motion()
+        assert dy == pytest.approx(seq.true_motion[0], abs=0.5)
+        assert dx == pytest.approx(seq.true_motion[1], abs=0.5)

@@ -1,0 +1,72 @@
+"""Figure 3: per-kernel occupancy of each application across input sizes.
+
+The paper's central characterization: for every application, the share of
+runtime spent in each named kernel at relative input sizes 1/2/4.  Each
+application below is one pytest-benchmark case that profiles all three
+sizes; the collected occupancies are rendered into ``results/figure3.txt``
+and the paper's qualitative claims are asserted per application.
+"""
+
+from typing import Dict
+
+import pytest
+
+from repro.core import InputSize, all_benchmarks, get_benchmark, run_benchmark
+from repro.core.report import render_figure3
+from repro.core.runner import ALL_SIZES
+from repro.core.types import NON_KERNEL_WORK, SuiteResult
+
+ALL_SLUGS = tuple(b.slug for b in all_benchmarks())
+
+#: slug -> SuiteResult over the three sizes, filled by the app benches.
+RESULTS: Dict[str, SuiteResult] = {}
+
+
+@pytest.mark.parametrize("slug", ALL_SLUGS)
+def test_fig3_profile(benchmark, slug):
+    bench = get_benchmark(slug)
+
+    def profile_all_sizes() -> SuiteResult:
+        result = SuiteResult()
+        for size in ALL_SIZES:
+            result.runs.append(run_benchmark(bench, size, variant=0))
+        return result
+
+    result = benchmark.pedantic(profile_all_sizes, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    RESULTS[slug] = result
+    for size in ALL_SIZES:
+        occupancy = result.mean_occupancy(slug, size)
+        # Kernel attribution covers the majority of the runtime.
+        assert occupancy[NON_KERNEL_WORK] < 50.0
+
+
+def test_fig3_render_and_shape(benchmark, artifacts):
+    assert len(RESULTS) == len(ALL_SLUGS), "run the full module first"
+    merged = SuiteResult()
+    for slug in ALL_SLUGS:
+        merged.runs.extend(RESULTS[slug].runs)
+    text = benchmark(render_figure3, merged)
+    artifacts.add("figure3", text)
+
+    def share(slug: str, size: InputSize, kernel: str) -> float:
+        return RESULTS[slug].mean_occupancy(slug, size).get(kernel, 0.0)
+
+    # Disparity: the four data kernels dominate at every size.
+    for size in ALL_SIZES:
+        attributed = 100.0 - share("disparity", size, NON_KERNEL_WORK)
+        assert attributed > 60.0
+    # Segmentation: compute-intensive — occupancy is dominated by the
+    # eigensolve and stays roughly flat as the input grows (paper: "the
+    # occupancy of individual kernels remain constant across sizes").
+    eigen_small = share("segmentation", InputSize.SQCIF, "Eigensolve")
+    eigen_large = share("segmentation", InputSize.CIF, "Eigensolve")
+    assert eigen_small > 50.0
+    assert abs(eigen_small - eigen_large) < 25.0
+    # SIFT: the SIFT kernel is the majority of runtime (paper: SIFT +
+    # interpolation account for ~65%).
+    assert share("sift", InputSize.SQCIF, "SIFT") > 50.0
+    # Localization: ParticleFilter + Sampling account for ~all runtime.
+    pf = share("localization", InputSize.SQCIF, "ParticleFilter")
+    samp = share("localization", InputSize.SQCIF, "Sampling")
+    assert pf + samp > 90.0

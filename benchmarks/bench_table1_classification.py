@@ -1,0 +1,21 @@
+"""Table I: benchmark classification by concentration area.
+
+A metadata table in the paper; the bench times its rendering (trivially
+fast) and regenerates the rows into ``results/table1.txt``.
+"""
+
+from repro import all_benchmarks, render_table1
+from repro.core.types import ConcentrationArea
+
+
+def test_table1_classification(benchmark, artifacts):
+    text = benchmark(render_table1)
+    artifacts.add("table1", text)
+    # Paper structure: 9 benchmarks across 4 concentration areas, with
+    # 2-3 benchmarks per area.
+    benches = all_benchmarks()
+    assert len(benches) == 9
+    per_area = {area: 0 for area in ConcentrationArea}
+    for bench in benches:
+        per_area[bench.area] += 1
+    assert all(2 <= count <= 3 for count in per_area.values())

@@ -1,0 +1,23 @@
+"""Table II: descriptions, workload characteristics, application domains."""
+
+from repro import all_benchmarks, render_table2
+from repro.core.types import Characteristic
+
+
+def test_table2_descriptions(benchmark, artifacts):
+    text = benchmark(render_table2)
+    artifacts.add("table2", text)
+    benches = {b.slug: b for b in all_benchmarks()}
+    # Paper Table II characteristics.
+    assert benches["disparity"].characteristic == \
+        Characteristic.DATA_INTENSIVE
+    assert benches["tracking"].characteristic == \
+        Characteristic.DATA_INTENSIVE
+    assert benches["stitch"].characteristic == \
+        Characteristic.DATA_AND_COMPUTE
+    compute = [
+        "segmentation", "sift", "localization", "svm", "face", "texture",
+    ]
+    for slug in compute:
+        assert benches[slug].characteristic == \
+            Characteristic.COMPUTE_INTENSIVE

@@ -1,0 +1,14 @@
+"""Table III: configuration of the profiling system (this host)."""
+
+from repro import render_table3
+from repro.core.sysinfo import system_configuration
+
+
+def test_table3_system_configuration(benchmark, artifacts):
+    text = benchmark(render_table3)
+    artifacts.add("table3", text)
+    config = system_configuration()
+    # The paper's table documents OS, processor, caches, memory.
+    assert "Operating System" in config
+    assert "Processors" in config
+    assert "Memory" in config

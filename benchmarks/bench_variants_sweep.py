@@ -1,0 +1,64 @@
+"""Input-variant sensitivity sweep — the paper's 65-test-vector angle.
+
+SD-VBS ships five distinct inputs per size so researchers can run "power
+and sensitivity studies".  This bench sweeps all five variants of the
+fast applications at QCIF, asserts the runs stay algorithmically sound on
+every variant, and checks runtime sensitivity: data-intensive disparity
+should be nearly variant-insensitive (cost depends on pixel count, not
+content), while stitch — whose RANSAC workload follows feature content —
+may vary more.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import InputSize, get_benchmark, run_benchmark
+from repro.core.report import format_table
+from repro.core.types import VARIANTS_PER_SIZE
+
+SWEPT = ("disparity", "svm", "stitch", "texture")
+
+
+@pytest.mark.parametrize("slug", SWEPT)
+def test_variant_sweep(benchmark, slug, artifacts):
+    bench = get_benchmark(slug)
+
+    def sweep():
+        return [
+            run_benchmark(bench, InputSize.QCIF, variant)
+            for variant in range(VARIANTS_PER_SIZE)
+        ]
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                              warmup_rounds=0)
+    times = np.array([run.total_seconds for run in runs])
+    spread = float(times.std() / times.mean())
+    artifacts.add(
+        f"variants_{slug}",
+        format_table(
+            ("Variant", "Wall time", "Outputs"),
+            [
+                (run.variant, f"{run.total_seconds * 1000:.1f} ms",
+                 ", ".join(f"{k}={v}" for k, v in sorted(
+                     run.outputs.items())
+                     if isinstance(v, (int, float)))[:60])
+                for run in runs
+            ],
+            title=f"Five-variant sweep: {slug} @ QCIF "
+            f"(relative std {spread:.2f})",
+        ),
+    )
+    # Every variant must stay algorithmically sound.
+    for run in runs:
+        if slug == "disparity":
+            assert run.outputs["mean_abs_error"] < 1.5
+        elif slug == "svm":
+            assert run.outputs["train_accuracy"] > 0.9
+        elif slug == "stitch":
+            assert run.outputs["registration_error"] < 2.0
+        elif slug == "texture":
+            assert run.outputs["final_residual"] < \
+                run.outputs["initial_residual"] * 1.1
+    # Data-intensive disparity: runtime follows pixels, not content.
+    if slug == "disparity":
+        assert spread < 0.35

@@ -1,0 +1,42 @@
+"""Shared fixtures for the SD-VBS benchmark harness.
+
+Each bench module both *times* its workload through pytest-benchmark and
+*renders* the corresponding paper table/figure.  Rendered text is
+collected by the session-scoped ``artifacts`` fixture and written to
+``benchmarks/results/`` at the end of the session, so a
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated
+tables and figures on disk alongside the timing table.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class ArtifactStore:
+    """Collects rendered table/figure text, keyed by artifact name."""
+
+    def __init__(self) -> None:
+        self.artifacts: Dict[str, str] = {}
+
+    def add(self, name: str, text: str) -> None:
+        self.artifacts[name] = text
+
+    def flush(self) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        for name, text in self.artifacts.items():
+            path = os.path.join(RESULTS_DIR, f"{name}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    store = ArtifactStore()
+    yield store
+    store.flush()

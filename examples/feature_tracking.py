@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""KLT feature tracking across a translating image sequence.
+
+Extracts "good features to track" from each frame and follows them with
+the pyramidal Lucas-Kanade tracker, then compares the recovered motion
+against the sequence's known camera pan.
+
+Run:  python examples/feature_tracking.py
+"""
+
+from repro.core import InputSize, KernelProfiler
+from repro.core.inputs import sequence
+from repro.tracking import good_features, median_motion, track_features
+
+
+def main() -> None:
+    seq = sequence(InputSize.QCIF, variant=0, n_frames=5)
+    dy, dx = seq.true_motion
+    print(f"{len(seq.frames)} frames of {seq.frames[0].shape[1]}x"
+          f"{seq.frames[0].shape[0]}; true inter-frame motion "
+          f"({dy:+.0f}, {dx:+.0f}) px\n")
+
+    profiler = KernelProfiler()
+    with profiler.run():
+        for index in range(len(seq.frames) - 1):
+            prev_frame = seq.frames[index]
+            next_frame = seq.frames[index + 1]
+            features = good_features(prev_frame, max_features=48,
+                                     profiler=profiler)
+            tracks = track_features(prev_frame, next_frame, features,
+                                    profiler=profiler)
+            converged = [t for t in tracks if t.converged]
+            est_dy, est_dx = median_motion(converged)
+            residual = sum(t.residual for t in converged) / len(converged)
+            print(f"frame {index}->{index + 1}: {len(features)} features, "
+                  f"{len(converged)} tracked, motion "
+                  f"({est_dy:+.2f}, {est_dx:+.2f}), "
+                  f"mean residual {residual:.4f}")
+
+    print(f"\ntotal time: {profiler.total_seconds * 1000:.0f} ms")
+    print("kernel breakdown:")
+    for kernel, seconds in sorted(profiler.kernel_seconds.items(),
+                                  key=lambda kv: -kv[1]):
+        print(f"  {kernel:<16} {seconds * 1000:7.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

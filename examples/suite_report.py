@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate the paper's tables and figures in one run.
+
+Runs every application at every input size (one variant, for speed),
+then prints Tables I-IV and Figures 2-3 exactly as the benchmark harness
+writes them to ``benchmarks/results/``.  This is the full characterization
+pass of the paper, end to end.
+
+Run:  python examples/suite_report.py            # whole suite (~1 min)
+      python examples/suite_report.py disparity  # selected benchmarks
+"""
+
+import sys
+import time
+
+from repro import (
+    render_figure2,
+    render_figure3,
+    render_suite_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_suite,
+)
+
+
+def main() -> None:
+    slugs = sys.argv[1:] or None
+    print(render_table1())
+    print()
+    print(render_table2())
+    print()
+    print(render_table3())
+    print()
+    print(render_table4())
+    print()
+
+    label = ", ".join(slugs) if slugs else "all nine applications"
+    print(f"profiling {label} across SQCIF/QCIF/CIF ...\n")
+    started = time.time()
+    result = run_suite(slugs, variants=[0])
+    print(render_suite_summary(result))
+    print()
+    print(render_figure2(result, slugs))
+    print()
+    print(render_figure3(result))
+    print(f"\nsuite characterization took {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — a Python reproduction of SD-VBS, the San Diego Vision
+Benchmark Suite (IISWC 2009).
+
+Nine vision applications (disparity, tracking, segmentation, SIFT,
+localization, SVM, face detection, stitch, texture synthesis) built from
+shared image-processing and linear-algebra kernels, plus the
+characterization harness that regenerates the paper's tables and figures:
+per-kernel hotspot profiles (Figure 3), input-size scaling (Figure 2),
+and critical-path parallelism estimates (Table IV).
+
+Quick start::
+
+    from repro import run_suite, render_figure3
+    result = run_suite(["disparity"], variants=[0])
+    print(render_figure3(result))
+"""
+
+from .core import (
+    ALL_SIZES,
+    Benchmark,
+    BenchmarkRun,
+    InputSize,
+    KernelProfiler,
+    SuiteResult,
+    all_benchmarks,
+    get_benchmark,
+    run_benchmark,
+    run_suite,
+)
+from .core.report import (
+    render_figure2,
+    render_figure3,
+    render_suite_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SIZES",
+    "Benchmark",
+    "BenchmarkRun",
+    "InputSize",
+    "KernelProfiler",
+    "SuiteResult",
+    "__version__",
+    "all_benchmarks",
+    "get_benchmark",
+    "render_figure2",
+    "render_figure3",
+    "render_suite_summary",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "run_benchmark",
+    "run_suite",
+]

@@ -1,0 +1,131 @@
+"""``sdvbs`` command-line driver.
+
+Subcommands::
+
+    sdvbs list                      # the nine applications + metadata
+    sdvbs run disparity sift        # run benchmarks, print hotspots
+    sdvbs tables                    # Tables I, II, III
+    sdvbs figure2 [--variants N]    # input-size scaling series
+    sdvbs figure3 [slugs...]        # kernel occupancy per size
+    sdvbs table4                    # critical-path parallelism
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import InputSize, all_benchmarks, run_suite
+from .core.report import (
+    render_figure2,
+    render_figure3,
+    render_suite_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+
+def _parse_sizes(names: Optional[List[str]]) -> List[InputSize]:
+    if not names:
+        return list(InputSize)
+    return [InputSize[name.upper()] for name in names]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``sdvbs`` command; returns the exit status."""
+    parser = argparse.ArgumentParser(
+        prog="sdvbs",
+        description="SD-VBS reproduction: run vision benchmarks and "
+        "regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the nine applications")
+    sub.add_parser("tables", help="print Tables I, II and III")
+    sub.add_parser("table4", help="print Table IV (parallelism)")
+
+    run_parser = sub.add_parser("run", help="run benchmarks and profile")
+    run_parser.add_argument("slugs", nargs="*", help="benchmark slugs "
+                            "(default: all)")
+    run_parser.add_argument("--sizes", nargs="*", metavar="SIZE",
+                            help="SQCIF/QCIF/CIF (default: all)")
+    run_parser.add_argument("--variants", type=int, default=1,
+                            help="input variants per size (1-5)")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the raw result as JSON instead of "
+                            "the text reports")
+
+    fig2_parser = sub.add_parser("figure2", help="execution-time scaling")
+    fig2_parser.add_argument("--variants", type=int, default=1)
+
+    fig3_parser = sub.add_parser("figure3", help="kernel occupancy")
+    fig3_parser.add_argument("slugs", nargs="*")
+    fig3_parser.add_argument("--variants", type=int, default=1)
+
+    compare_parser = sub.add_parser(
+        "compare",
+        help="compare two JSON results (from `sdvbs run --json`)",
+    )
+    compare_parser.add_argument("baseline", help="baseline JSON file")
+    compare_parser.add_argument("candidate", help="candidate JSON file")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print(render_table1())
+        return 0
+    if args.command == "tables":
+        print(render_table1())
+        print()
+        print(render_table2())
+        print()
+        print(render_table3())
+        return 0
+    if args.command == "table4":
+        print(render_table4())
+        return 0
+
+    variants = list(range(max(1, min(5, getattr(args, "variants", 1)))))
+    if args.command == "run":
+        slugs = args.slugs or None
+        sizes = _parse_sizes(args.sizes)
+        result = run_suite(slugs, sizes=sizes, variants=variants)
+        if args.json:
+            from .core.export import result_to_json
+
+            print(result_to_json(result))
+            return 0
+        print(render_suite_summary(result))
+        print()
+        print(render_figure3(result))
+        return 0
+    if args.command == "figure2":
+        slugs = [b.slug for b in all_benchmarks() if b.in_figure2]
+        result = run_suite(slugs, variants=variants)
+        print(render_figure2(result))
+        return 0
+    if args.command == "figure3":
+        slugs = args.slugs or None
+        result = run_suite(slugs, variants=variants)
+        print(render_figure3(result))
+        return 0
+    if args.command == "compare":
+        from .core.compare import render_comparison
+        from .core.export import result_from_json
+
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = result_from_json(handle.read())
+        with open(args.candidate, "r", encoding="utf-8") as handle:
+            candidate = result_from_json(handle.read())
+        print(render_comparison(baseline, candidate,
+                                baseline_label=args.baseline,
+                                candidate_label=args.candidate))
+        return 0
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

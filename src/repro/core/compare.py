@@ -1,0 +1,139 @@
+"""Compare two suite results: speedups and occupancy drift.
+
+Architecture studies run the suite on two configurations and compare;
+this module diffs two :class:`~repro.core.types.SuiteResult` objects into
+a speedup table (baseline time / candidate time per benchmark/size) and a
+per-kernel occupancy delta, rendered in the same ASCII style as the
+paper's artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .report import format_table
+from .types import NON_KERNEL_WORK, InputSize, SuiteResult
+
+
+@dataclass(frozen=True)
+class SpeedupEntry:
+    """One benchmark/size comparison."""
+
+    benchmark: str
+    size: InputSize
+    baseline_seconds: float
+    candidate_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.candidate_seconds <= 0:
+            return float("inf")
+        return self.baseline_seconds / self.candidate_seconds
+
+
+def speedups(baseline: SuiteResult,
+             candidate: SuiteResult) -> List[SpeedupEntry]:
+    """Per-(benchmark, size) speedups over the shared run set."""
+    entries: List[SpeedupEntry] = []
+    for slug in baseline.benchmarks():
+        if slug not in candidate.benchmarks():
+            continue
+        for size in InputSize:
+            base = baseline.mean_total(slug, size)
+            cand = candidate.mean_total(slug, size)
+            if base is None or cand is None:
+                continue
+            entries.append(
+                SpeedupEntry(
+                    benchmark=slug,
+                    size=size,
+                    baseline_seconds=base,
+                    candidate_seconds=cand,
+                )
+            )
+    return entries
+
+
+def geometric_mean_speedup(entries: List[SpeedupEntry]) -> float:
+    """The architecture-standard aggregate over a benchmark suite."""
+    if not entries:
+        raise ValueError("no comparable entries")
+    product = 1.0
+    for entry in entries:
+        product *= entry.speedup
+    return product ** (1.0 / len(entries))
+
+
+def occupancy_drift(
+    baseline: SuiteResult,
+    candidate: SuiteResult,
+    slug: str,
+    size: InputSize,
+) -> Dict[str, float]:
+    """Per-kernel occupancy change (candidate - baseline, in points)."""
+    base = baseline.mean_occupancy(slug, size)
+    cand = candidate.mean_occupancy(slug, size)
+    if not base or not cand:
+        raise ValueError(f"no runs for {slug} at {size.name}")
+    kernels = sorted(set(base) | set(cand))
+    return {
+        kernel: cand.get(kernel, 0.0) - base.get(kernel, 0.0)
+        for kernel in kernels
+    }
+
+
+def render_comparison(
+    baseline: SuiteResult,
+    candidate: SuiteResult,
+    baseline_label: str = "baseline",
+    candidate_label: str = "candidate",
+) -> str:
+    """Speedup table plus the geometric mean, paper-artifact style."""
+    entries = speedups(baseline, candidate)
+    if not entries:
+        return "no comparable runs"
+    rows: List[Tuple[str, str, str, str, str]] = []
+    for entry in entries:
+        rows.append(
+            (
+                entry.benchmark,
+                entry.size.name,
+                f"{entry.baseline_seconds * 1000:.1f} ms",
+                f"{entry.candidate_seconds * 1000:.1f} ms",
+                f"{entry.speedup:.2f}x",
+            )
+        )
+    table = format_table(
+        ("Benchmark", "Size", baseline_label, candidate_label, "Speedup"),
+        rows,
+        title=f"Suite comparison: {candidate_label} vs {baseline_label}",
+    )
+    return (
+        table
+        + f"\ngeometric mean speedup: {geometric_mean_speedup(entries):.2f}x"
+    )
+
+
+def hotspot_shift_report(
+    baseline: SuiteResult,
+    candidate: SuiteResult,
+    slug: str,
+    size: InputSize,
+    threshold: float = 1.0,
+) -> Optional[str]:
+    """Human-readable note of kernels whose share moved > ``threshold``
+    points, or ``None`` when the profile is stable."""
+    drift = occupancy_drift(baseline, candidate, slug, size)
+    moved = {
+        kernel: delta
+        for kernel, delta in drift.items()
+        if abs(delta) > threshold and kernel != NON_KERNEL_WORK
+    }
+    if not moved:
+        return None
+    parts = [
+        f"{kernel} {delta:+.1f}pp"
+        for kernel, delta in sorted(moved.items(), key=lambda kv: -abs(kv[1]))
+    ]
+    return f"{slug}@{size.name}: " + ", ".join(parts)

@@ -1,0 +1,296 @@
+"""Work/span dataflow analysis — the Table IV substrate.
+
+SD-VBS reports, per kernel, the parallelism "estimated by a critical path
+analysis ... [which] corresponds roughly to the speedup possible on a
+dataflow machine with infinite hardware resources and free communication"
+(Lam & Wilson style limit study).  On such a machine the runtime of a
+computation is the length of its longest dependence chain (the *span*) and
+its speedup over serial execution is ``work / span``.
+
+This module provides two equivalent ways to compute that limit:
+
+* **Cost-model combinators** (:class:`Op`, :class:`Seq`, :class:`Par`,
+  :class:`ParMap`, :class:`Chain`, :class:`Reduce`, :class:`Scan`) that
+  mirror the loop-nest structure of a kernel analytically.  Every kernel in
+  the suite publishes such a model via its application's
+  ``parallelism_models()``.
+* An explicit :class:`TaskGraph` whose work/span is computed by longest-path
+  over the DAG.  It is used to cross-check the combinators in tests and to
+  analyze small dynamic traces.
+
+Both count "operations" abstractly (one arithmetic op = 1 unit), exactly as
+an idealized dataflow limit study does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class CostModel:
+    """Base class: an analytic (work, span) pair for a computation."""
+
+    work: int
+    span: int
+
+    @property
+    def parallelism(self) -> float:
+        """Ideal dataflow speedup, ``work / span``."""
+        if self.span <= 0:
+            return 1.0
+        return self.work / self.span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(work={self.work}, span={self.span}, "
+            f"parallelism={self.parallelism:.1f})"
+        )
+
+
+@dataclass(repr=False)
+class Op(CostModel):
+    """A straight-line block of ``count`` dependent operations.
+
+    Models a basic-block body whose operations form a chain (worst case for
+    ILP); use ``Par`` of ``Op(1)`` for independent scalar ops.
+    """
+
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("op count must be non-negative")
+        self.work = self.count
+        self.span = self.count
+
+
+class Seq(CostModel):
+    """Sequential composition: works and spans both add."""
+
+    def __init__(self, *parts: CostModel) -> None:
+        self.parts: Tuple[CostModel, ...] = tuple(parts)
+        self.work = sum(p.work for p in self.parts)
+        self.span = sum(p.span for p in self.parts)
+
+
+class Par(CostModel):
+    """Parallel composition of independent parts: span is the max."""
+
+    def __init__(self, *parts: CostModel) -> None:
+        self.parts: Tuple[CostModel, ...] = tuple(parts)
+        self.work = sum(p.work for p in self.parts)
+        self.span = max((p.span for p in self.parts), default=0)
+
+
+class ParMap(CostModel):
+    """``n`` independent instances of ``body`` (a fully parallel loop).
+
+    This is the shape of a DLP/TLP loop with no inter-iteration dependence:
+    work multiplies, span stays the body's span.
+    """
+
+    def __init__(self, n: int, body: CostModel) -> None:
+        if n < 0:
+            raise ValueError("iteration count must be non-negative")
+        self.n = n
+        self.body = body
+        self.work = n * body.work
+        self.span = body.span if n > 0 else 0
+
+
+class Chain(CostModel):
+    """``n`` iterations of ``body`` with a loop-carried dependence.
+
+    The serial-loop shape: both work and span multiply by ``n``.
+    """
+
+    def __init__(self, n: int, body: CostModel) -> None:
+        if n < 0:
+            raise ValueError("iteration count must be non-negative")
+        self.n = n
+        self.body = body
+        self.work = n * body.work
+        self.span = n * body.span
+
+
+class Reduce(CostModel):
+    """Tree reduction of ``n`` values with an ``op_cost``-op combiner.
+
+    Work is ``(n - 1) * op_cost``; span is ``ceil(log2 n) * op_cost`` — the
+    dataflow machine reassociates the reduction into a balanced tree.
+    """
+
+    def __init__(self, n: int, op_cost: int = 1) -> None:
+        if n < 0:
+            raise ValueError("element count must be non-negative")
+        self.n = n
+        self.op_cost = op_cost
+        self.work = max(0, n - 1) * op_cost
+        self.span = (max(1, math.ceil(math.log2(n))) * op_cost) if n > 1 else 0
+
+
+class Scan(CostModel):
+    """Parallel prefix (scan) over ``n`` values (Blelloch-style).
+
+    Work ``~2n``, span ``~2 log2 n``.  This is the dataflow-limit shape of
+    the integral-image row/column passes: although the C code writes a
+    serial accumulation, an ideal machine reassociates it into a scan,
+    which is why the paper measures such high parallelism for Integral
+    Image despite its serial-looking loops.
+    """
+
+    def __init__(self, n: int, op_cost: int = 1) -> None:
+        if n < 0:
+            raise ValueError("element count must be non-negative")
+        self.n = n
+        self.op_cost = op_cost
+        self.work = 2 * max(0, n - 1) * op_cost
+        self.span = (2 * max(1, math.ceil(math.log2(n))) * op_cost) if n > 1 else 0
+
+
+# ----------------------------------------------------------------------
+# Explicit task graphs
+
+
+class TaskGraph:
+    """An explicit dataflow DAG with per-node operation costs.
+
+    ``add(task, cost, deps)`` inserts a node; :meth:`analyze` returns the
+    (work, span) pair where span is the longest cost-weighted path.  Nodes
+    must be added after all of their dependencies (which any dynamic trace
+    satisfies naturally); this keeps the analysis a single O(V + E) pass.
+    """
+
+    def __init__(self) -> None:
+        self._cost: Dict[object, int] = {}
+        self._finish: Dict[object, int] = {}
+        self._work: int = 0
+        self._span: int = 0
+
+    def add(self, task: object, cost: int = 1, deps: Iterable[object] = ()) -> None:
+        """Add ``task`` with ``cost`` ops, depending on completed ``deps``."""
+        if task in self._cost:
+            raise ValueError(f"duplicate task {task!r}")
+        if cost < 0:
+            raise ValueError("task cost must be non-negative")
+        start = 0
+        for dep in deps:
+            if dep not in self._finish:
+                raise KeyError(f"unknown dependency {dep!r} for task {task!r}")
+            start = max(start, self._finish[dep])
+        finish = start + cost
+        self._cost[task] = cost
+        self._finish[task] = finish
+        self._work += cost
+        self._span = max(self._span, finish)
+
+    def __len__(self) -> int:
+        return len(self._cost)
+
+    def __contains__(self, task: object) -> bool:
+        return task in self._cost
+
+    @property
+    def work(self) -> int:
+        return self._work
+
+    @property
+    def span(self) -> int:
+        return self._span
+
+    @property
+    def parallelism(self) -> float:
+        if self._span <= 0:
+            return 1.0
+        return self._work / self._span
+
+    def analyze(self) -> Tuple[int, int]:
+        """Return ``(work, span)`` for the graph built so far."""
+        return self._work, self._span
+
+
+def graph_from_model(model: CostModel) -> TaskGraph:
+    """Expand an analytic cost model into an explicit :class:`TaskGraph`.
+
+    Used by tests to cross-validate the combinator algebra against a
+    longest-path computation.  Expansion is exact for ``Op``/``Seq``/``Par``/
+    ``ParMap``/``Chain`` and structural (balanced tree) for ``Reduce`` and
+    ``Scan``.  Intended for small models only — the graph has one node per
+    operation group.
+    """
+
+    graph = TaskGraph()
+    counter = [0]
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0]
+
+    def emit(m: CostModel, deps: Sequence[object]) -> List[object]:
+        """Emit nodes for ``m`` after ``deps``; return its sink nodes."""
+        if isinstance(m, Op):
+            if m.count == 0:
+                return list(deps)
+            node = fresh()
+            graph.add(node, m.count, deps)
+            return [node]
+        if isinstance(m, Seq):
+            sinks: List[object] = list(deps)
+            for part in m.parts:
+                sinks = emit(part, sinks)
+            return sinks
+        if isinstance(m, Par):
+            all_sinks: List[object] = []
+            for part in m.parts:
+                all_sinks.extend(emit(part, deps))
+            return all_sinks or list(deps)
+        if isinstance(m, ParMap):
+            all_sinks = []
+            for _ in range(m.n):
+                all_sinks.extend(emit(m.body, deps))
+            return all_sinks or list(deps)
+        if isinstance(m, Chain):
+            sinks = list(deps)
+            for _ in range(m.n):
+                sinks = emit(m.body, sinks)
+            return sinks
+        if isinstance(m, (Reduce, Scan)):
+            # Structural stand-in: a balanced up-sweep tree over n leaves;
+            # Scan adds a mirrored down-sweep below the root.
+            if m.n <= 1:
+                return list(deps)
+            frontier: List[object] = []
+            for _ in range(m.n):
+                leaf = fresh()
+                graph.add(leaf, 0, deps)
+                frontier.append(leaf)
+            while len(frontier) > 1:
+                nxt: List[object] = []
+                for i in range(0, len(frontier) - 1, 2):
+                    node = fresh()
+                    graph.add(node, m.op_cost, [frontier[i], frontier[i + 1]])
+                    nxt.append(node)
+                if len(frontier) % 2 == 1:
+                    nxt.append(frontier[-1])
+                frontier = nxt
+            if isinstance(m, Scan):
+                # Down-sweep: n - 1 combine ops expanding from the root,
+                # frontier at most doubling per level (height ceil(log2 n)).
+                remaining = m.n - 1
+                while remaining > 0:
+                    nxt = []
+                    for parent in frontier:
+                        nxt.append(parent)
+                        if remaining > 0:
+                            node = fresh()
+                            graph.add(node, m.op_cost, [parent])
+                            nxt.append(node)
+                            remaining -= 1
+                    frontier = nxt
+            return frontier
+        raise TypeError(f"cannot expand {type(m).__name__}")
+
+    emit(model, [])
+    return graph

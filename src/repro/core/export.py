@@ -1,0 +1,72 @@
+"""JSON serialization of suite results for downstream tooling.
+
+Architecture studies consume profiles programmatically; this module
+flattens :class:`~repro.core.types.SuiteResult` into plain dictionaries
+(JSON-ready) and back, so runs can be stored, diffed and post-processed
+outside this package.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .types import BenchmarkRun, InputSize, SuiteResult
+
+
+def run_to_dict(run: BenchmarkRun) -> Dict[str, object]:
+    """Flatten one run; outputs are stringified for JSON safety."""
+    return {
+        "benchmark": run.benchmark,
+        "size": run.size.name,
+        "variant": run.variant,
+        "total_seconds": run.total_seconds,
+        "kernel_seconds": dict(run.kernel_seconds),
+        "kernel_calls": dict(run.kernel_calls),
+        "occupancy": run.occupancy(),
+        "outputs": {key: repr(value) for key, value in run.outputs.items()},
+    }
+
+
+def result_to_dict(result: SuiteResult) -> Dict[str, object]:
+    """Flatten a whole suite result into a JSON-ready dictionary."""
+    return {
+        "schema": "sdvbs-repro/suite-result/v1",
+        "runs": [run_to_dict(run) for run in result.runs],
+    }
+
+
+def result_to_json(result: SuiteResult, indent: int = 2) -> str:
+    """Serialize a suite result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
+    """Rebuild a :class:`SuiteResult` from :func:`result_to_dict` output.
+
+    ``outputs`` are not round-tripped (they were stringified); everything
+    the reports need — timings and attribution — is restored exactly.
+    """
+    schema = payload.get("schema")
+    if schema != "sdvbs-repro/suite-result/v1":
+        raise ValueError(f"unsupported schema {schema!r}")
+    result = SuiteResult()
+    runs: List[Dict[str, object]] = payload["runs"]  # type: ignore[assignment]
+    for entry in runs:
+        result.runs.append(
+            BenchmarkRun(
+                benchmark=str(entry["benchmark"]),
+                size=InputSize[str(entry["size"])],
+                variant=int(entry["variant"]),  # type: ignore[arg-type]
+                total_seconds=float(entry["total_seconds"]),  # type: ignore[arg-type]
+                kernel_seconds=dict(entry["kernel_seconds"]),  # type: ignore[arg-type]
+                kernel_calls=dict(entry["kernel_calls"]),  # type: ignore[arg-type]
+                outputs=dict(entry.get("outputs", {})),  # type: ignore[arg-type]
+            )
+        )
+    return result
+
+
+def result_from_json(text: str) -> SuiteResult:
+    """Parse a suite result serialized by :func:`result_to_json`."""
+    return result_from_dict(json.loads(text))

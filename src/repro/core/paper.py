@@ -1,0 +1,80 @@
+"""The paper's published numbers, as data.
+
+Table IV of SD-VBS reports, per kernel, the parallelism measured by the
+authors' critical-path tool and the parallelism class they assign.  This
+module embeds those values so tests and reports can compare the
+reproduction's estimates against the paper *programmatically*: absolute
+values are tool-dependent, but within-benchmark orderings and class
+labels are the shape the paper establishes.
+
+Kernel names are this reproduction's; the mapping to the paper's
+typography ("Integral Image" -> "IntegralImage", etc.) is one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .types import ParallelismClass
+
+#: (benchmark slug, kernel) -> (paper parallelism, paper class).
+PAPER_TABLE4: Dict[Tuple[str, str], Tuple[float, ParallelismClass]] = {
+    ("disparity", "Correlation"): (502.0, ParallelismClass.TLP),
+    ("disparity", "IntegralImage"): (160.0, ParallelismClass.TLP),
+    ("disparity", "Sort"): (1_700.0, ParallelismClass.DLP),
+    ("disparity", "SSD"): (1_800.0, ParallelismClass.DLP),
+    ("tracking", "Gradient"): (71.0, ParallelismClass.ILP),
+    ("tracking", "GaussianFilter"): (637.0, ParallelismClass.DLP),
+    ("tracking", "IntegralImage"): (1_050.0, ParallelismClass.TLP),
+    ("tracking", "AreaSum"): (425.0, ParallelismClass.TLP),
+    ("tracking", "MatrixInversion"): (171_000.0, ParallelismClass.DLP),
+    ("sift", "SIFT"): (180.0, ParallelismClass.TLP),
+    ("sift", "Interpolation"): (502.0, ParallelismClass.TLP),
+    ("sift", "IntegralImage"): (16_000.0, ParallelismClass.TLP),
+    ("stitch", "LSSolver"): (20_900.0, ParallelismClass.TLP),
+    ("stitch", "SVD"): (12_300.0, ParallelismClass.TLP),
+    ("stitch", "Convolution"): (4_500.0, ParallelismClass.DLP),
+    ("svm", "MatrixOps"): (1_000.0, ParallelismClass.DLP),
+    ("svm", "Learning"): (851.0, ParallelismClass.ILP),
+    ("svm", "ConjugateMatrix"): (502.0, ParallelismClass.TLP),
+}
+
+#: Benchmarks whose Table IV within-benchmark ordering this reproduction
+#: matches exactly (see EXPERIMENTS.md for the two partial matches).
+ORDERING_MATCHED = ("tracking", "sift", "svm")
+
+
+def paper_kernel_order(benchmark: str) -> List[str]:
+    """Kernels of one benchmark, sorted by the paper's parallelism
+    (descending)."""
+    rows = [
+        (kernel, value)
+        for (slug, kernel), (value, _cls) in PAPER_TABLE4.items()
+        if slug == benchmark
+    ]
+    if not rows:
+        raise KeyError(f"benchmark {benchmark!r} not in the paper's Table IV")
+    return [kernel for kernel, _v in sorted(rows, key=lambda kv: -kv[1])]
+
+
+def paper_class(benchmark: str, kernel: str) -> ParallelismClass:
+    """The ILP/DLP/TLP label the paper assigns to one kernel."""
+    try:
+        return PAPER_TABLE4[(benchmark, kernel)][1]
+    except KeyError:
+        raise KeyError(
+            f"({benchmark}, {kernel}) not in the paper's Table IV"
+        ) from None
+
+
+#: Figure 2's qualitative scaling claims: slug -> (min, max) expected
+#: CIF/SQCIF runtime ratio band for this reproduction (the paper's curve
+#: shapes translated into coarse bands; see EXPERIMENTS.md).
+FIGURE2_BANDS: Dict[str, Tuple[float, float]] = {
+    "disparity": (2.5, 40.0),  # steep, ~linear in pixels
+    "sift": (2.0, 40.0),
+    "tracking": (1.0, 20.0),
+    "stitch": (1.0, 20.0),
+    "localization": (0.3, 10.0),  # trace-bound, not pixel-bound
+    "segmentation": (0.5, 2.0),  # flat (fixed working grid)
+}

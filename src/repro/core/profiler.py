@@ -1,0 +1,140 @@
+"""Kernel-level profiler used to attribute application runtime to kernels.
+
+SD-VBS characterizes each application by the share of runtime spent in each
+named kernel (Figure 3).  The original C suite did this with external
+profilers; here every application threads a :class:`KernelProfiler` through
+its kernels and wraps each kernel body in ``with profiler.kernel("Name")``.
+
+Nested kernels are attributed *exclusively*: time spent inside an inner
+named kernel is subtracted from the enclosing kernel, so per-kernel shares
+sum to at most 100% and the remainder is the paper's "NonKernelWork".
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .types import KernelSample
+
+
+class KernelProfiler:
+    """Accumulates exclusive wall time per named kernel.
+
+    The profiler is re-entrant: the same kernel name may appear at several
+    nesting depths and its samples are merged.  A ``clock`` callable can be
+    injected for deterministic tests.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock: Callable[[], float] = clock or time.perf_counter
+        self._samples: Dict[str, KernelSample] = {}
+        # Stack of [kernel name, accumulated child time] for the active
+        # nest of ``kernel`` contexts.
+        self._stack: List[List[object]] = []
+        self._total_start: Optional[float] = None
+        self._total_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Whole-application timing
+
+    def start(self) -> None:
+        """Begin timing the whole application run."""
+        if self._total_start is not None:
+            raise RuntimeError("profiler already started")
+        self._total_start = self._clock()
+
+    def stop(self) -> float:
+        """Stop whole-application timing and return total elapsed seconds."""
+        if self._total_start is None:
+            raise RuntimeError("profiler not started")
+        self._total_seconds += self._clock() - self._total_start
+        self._total_start = None
+        return self._total_seconds
+
+    @contextmanager
+    def run(self) -> Iterator["KernelProfiler"]:
+        """Context manager wrapping :meth:`start`/:meth:`stop`."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # Kernel attribution
+
+    @contextmanager
+    def kernel(self, name: str) -> Iterator[None]:
+        """Attribute the wall time of the enclosed block to ``name``.
+
+        Time spent in nested ``kernel`` blocks is excluded (charged to the
+        inner kernel only).
+        """
+        start = self._clock()
+        frame: List[object] = [name, 0.0]
+        self._stack.append(frame)
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            self._stack.pop()
+            child_time = float(frame[1])  # accumulated by nested kernels
+            exclusive = max(0.0, elapsed - child_time)
+            sample = self._samples.setdefault(name, KernelSample(name))
+            sample.seconds += exclusive
+            sample.calls += 1
+            if self._stack:
+                parent = self._stack[-1]
+                parent[1] = float(parent[1]) + elapsed
+
+    # ------------------------------------------------------------------
+    # Results
+
+    @property
+    def total_seconds(self) -> float:
+        return self._total_seconds
+
+    @property
+    def kernel_seconds(self) -> Dict[str, float]:
+        return {name: s.seconds for name, s in self._samples.items()}
+
+    @property
+    def kernel_calls(self) -> Dict[str, int]:
+        return {name: s.calls for name, s in self._samples.items()}
+
+    def attributed_seconds(self) -> float:
+        """Total seconds charged to named kernels."""
+        return sum(s.seconds for s in self._samples.values())
+
+    def reset(self) -> None:
+        """Discard all samples and timing state."""
+        self._samples.clear()
+        self._stack.clear()
+        self._total_start = None
+        self._total_seconds = 0.0
+
+
+class NullProfiler(KernelProfiler):
+    """Profiler that records nothing; used when callers pass ``None``.
+
+    Keeps the kernel annotations in application code free of ``if`` guards.
+    """
+
+    @contextmanager
+    def kernel(self, name: str) -> Iterator[None]:  # noqa: D102
+        yield
+
+    def start(self) -> None:  # noqa: D102
+        pass
+
+    def stop(self) -> float:  # noqa: D102
+        return 0.0
+
+
+def ensure_profiler(profiler: Optional[KernelProfiler]) -> KernelProfiler:
+    """Return ``profiler`` or a shared no-op profiler when ``None``."""
+    if profiler is None:
+        return NullProfiler()
+    return profiler

@@ -1,0 +1,197 @@
+"""Text renderers regenerating the paper's tables and figures.
+
+Each ``render_*`` function returns a plain-text block whose rows/series
+match what the paper reports:
+
+* :func:`render_table1` / :func:`render_table2` — classification metadata.
+* :func:`render_table3` — profiling-host configuration.
+* :func:`render_figure2` — relative execution time vs relative input size.
+* :func:`render_figure3` — per-kernel occupancy bars per input size.
+* :func:`render_table4` — work/span parallelism per kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .registry import Benchmark, all_benchmarks, table4_benchmarks
+from .runner import ALL_SIZES, scaling_series
+from .sysinfo import system_configuration
+from .types import (
+    NON_KERNEL_WORK,
+    InputSize,
+    ParallelismEstimate,
+    SuiteResult,
+)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Render an ASCII table with column widths fit to content."""
+    materialized = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in materialized:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Table I: benchmark classification by concentration area."""
+    rows = [(b.name, str(b.area)) for b in all_benchmarks()]
+    return format_table(
+        ("Benchmark", "Concentration Area"),
+        rows,
+        title="Table I. Benchmark classification based on concentration area",
+    )
+
+
+def render_table2() -> str:
+    """Table II: description / characteristic / application domain."""
+    rows = [
+        (b.name, b.description, str(b.characteristic), b.application_domain)
+        for b in all_benchmarks()
+    ]
+    return format_table(
+        ("Benchmark", "Description", "Characteristic", "Application Domain"),
+        rows,
+        title="Table II. Brief description of SD-VBS benchmarks",
+    )
+
+
+def render_table3() -> str:
+    """Table III: configuration of the profiling system (this host)."""
+    config = system_configuration()
+    return format_table(
+        ("Feature", "Description"),
+        config.items(),
+        title="Table III. Configuration of profiling system",
+    )
+
+
+def render_figure2(result: SuiteResult,
+                   slugs: Optional[Sequence[str]] = None) -> str:
+    """Figure 2: relative execution time at relative sizes 1x / 2x / 4x."""
+    if slugs is None:
+        slugs = [b.slug for b in all_benchmarks() if b.in_figure2]
+    headers = ["Benchmark"] + [f"{s.relative}x ({s.name})" for s in ALL_SIZES]
+    rows = []
+    for slug in slugs:
+        series = scaling_series(result, slug)
+        by_size = {p.relative_size: p.relative_time for p in series}
+        rows.append(
+            [slug]
+            + [
+                f"{by_size[size.relative]:.2f}x" if size.relative in by_size else "-"
+                for size in ALL_SIZES
+            ]
+        )
+    return format_table(
+        headers, rows,
+        title="Figure 2. Execution time versus input size (normalized to SQCIF)",
+    )
+
+
+def _bar(share: float, scale: float = 0.5) -> str:
+    return "#" * max(0, int(round(share * scale)))
+
+
+def render_figure3(result: SuiteResult,
+                   benchmark: Optional[Benchmark] = None) -> str:
+    """Figure 3: per-kernel % occupancy at each input size.
+
+    With ``benchmark=None`` renders all applications present in ``result``.
+    """
+    if benchmark is not None:
+        targets: List[Benchmark] = [benchmark]
+    else:
+        by_slug = {b.slug: b for b in all_benchmarks()}
+        targets = [by_slug[slug] for slug in result.benchmarks() if slug in by_slug]
+    blocks: List[str] = []
+    for bench in targets:
+        lines = [f"Figure 3 [{bench.name}] kernel occupancy (% of runtime)"]
+        kernel_order = bench.kernel_names() + [NON_KERNEL_WORK]
+        for size in ALL_SIZES:
+            occupancy = result.mean_occupancy(bench.slug, size)
+            if not occupancy:
+                continue
+            lines.append(f"  input {size.relative} ({size.name}):")
+            for kernel in kernel_order:
+                share = occupancy.get(kernel)
+                if share is None:
+                    continue
+                lines.append(
+                    f"    {kernel:<18} {share:6.1f}% {_bar(share)}"
+                )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def render_table4(
+    estimates: Optional[Mapping[str, List[ParallelismEstimate]]] = None,
+    size: InputSize = InputSize.SQCIF,
+) -> str:
+    """Table IV: per-kernel parallelism from critical-path analysis.
+
+    ``estimates`` maps benchmark slug -> rows; when omitted, models are
+    evaluated fresh at ``size`` (the paper uses the smallest input size).
+    """
+    if estimates is None:
+        estimates = {
+            b.slug: b.parallelism(size)
+            for b in table4_benchmarks()
+            if b.parallelism is not None
+        }
+    rows = []
+    for slug, rows_for_bench in estimates.items():
+        for est in rows_for_bench:
+            rows.append(
+                (
+                    slug,
+                    est.kernel,
+                    _format_parallelism(est.parallelism),
+                    str(est.parallelism_class),
+                )
+            )
+    return format_table(
+        ("Benchmark", "Kernel", "Parallelism", "Type"),
+        rows,
+        title="Table IV. Parallelism across benchmarks and kernels "
+        "(critical-path analysis, smallest input size)",
+    )
+
+
+def _format_parallelism(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}x"
+    if value >= 10:
+        return f"{value:.0f}x"
+    return f"{value:.1f}x"
+
+
+def render_suite_summary(result: SuiteResult) -> str:
+    """Wall-time summary of every run in ``result``."""
+    rows = []
+    for run in result.runs:
+        rows.append(
+            (
+                run.benchmark,
+                run.size.name,
+                str(run.variant),
+                f"{run.total_seconds * 1000:.1f} ms",
+                f"{100.0 - run.occupancy().get(NON_KERNEL_WORK, 0.0):.0f}%",
+            )
+        )
+    return format_table(
+        ("Benchmark", "Size", "Variant", "Wall time", "Kernel coverage"),
+        rows,
+        title="Suite run summary",
+    )

@@ -1,0 +1,89 @@
+"""Suite runner: executes applications over sizes and variants.
+
+Drives each :class:`~repro.core.registry.Benchmark` through its synthetic
+inputs with a fresh :class:`~repro.core.profiler.KernelProfiler` per run and
+collects :class:`~repro.core.types.BenchmarkRun` records.  The reports in
+:mod:`repro.core.report` turn those records into the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .profiler import KernelProfiler
+from .registry import Benchmark, all_benchmarks, get_benchmark
+from .types import BenchmarkRun, InputSize, ScalingPoint, SuiteResult
+
+ALL_SIZES = (InputSize.SQCIF, InputSize.QCIF, InputSize.CIF)
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    size: InputSize,
+    variant: int = 0,
+) -> BenchmarkRun:
+    """Run one application once and return its timed record.
+
+    Workload construction (``benchmark.setup``) happens outside the timed
+    region, mirroring the original suite's preloaded inputs.
+    """
+    workload = benchmark.setup(size, variant)
+    profiler = KernelProfiler()
+    with profiler.run():
+        outputs = benchmark.run(workload, profiler)
+    return BenchmarkRun(
+        benchmark=benchmark.slug,
+        size=size,
+        variant=variant,
+        total_seconds=profiler.total_seconds,
+        kernel_seconds=profiler.kernel_seconds,
+        kernel_calls=profiler.kernel_calls,
+        outputs=dict(outputs),
+    )
+
+
+def run_suite(
+    slugs: Optional[Sequence[str]] = None,
+    sizes: Iterable[InputSize] = ALL_SIZES,
+    variants: Sequence[int] = (0,),
+) -> SuiteResult:
+    """Run the selected applications over ``sizes`` x ``variants``.
+
+    ``slugs=None`` runs the whole suite.  The default single variant keeps
+    interactive runs fast; the paper's 65-vector sweep corresponds to
+    ``variants=range(5)``.
+    """
+    if slugs is None:
+        benchmarks = all_benchmarks()
+    else:
+        benchmarks = [get_benchmark(slug) for slug in slugs]
+    result = SuiteResult()
+    for benchmark in benchmarks:
+        for size in sizes:
+            for variant in variants:
+                result.runs.append(run_benchmark(benchmark, size, variant))
+    return result
+
+
+def scaling_series(result: SuiteResult, slug: str) -> List[ScalingPoint]:
+    """Figure 2 series for one application: relative time vs relative size.
+
+    Times are normalized to the SQCIF mean, matching the paper's
+    "times increase in execution time" y-axis.
+    """
+    base = result.mean_total(slug, InputSize.SQCIF)
+    if base is None or base <= 0:
+        return []
+    points = []
+    for size in ALL_SIZES:
+        mean = result.mean_total(slug, size)
+        if mean is None:
+            continue
+        points.append(
+            ScalingPoint(
+                benchmark=slug,
+                relative_size=size.relative,
+                relative_time=mean / base,
+            )
+        )
+    return points

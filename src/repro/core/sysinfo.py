@@ -1,0 +1,70 @@
+"""Host configuration report — the analogue of the paper's Table III.
+
+Table III documents the profiling machine (OS, processor, caches, memory).
+This module gathers the same rows for whatever host this reproduction runs
+on, reading /proc where available and degrading gracefully elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Dict
+
+
+def _read_proc(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            return handle.read()
+    except OSError:
+        return ""
+
+
+def _cpu_model() -> str:
+    for line in _read_proc("/proc/cpuinfo").splitlines():
+        if line.lower().startswith("model name"):
+            return line.split(":", 1)[1].strip()
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def _memory_total() -> str:
+    for line in _read_proc("/proc/meminfo").splitlines():
+        if line.startswith("MemTotal"):
+            kb = int(line.split()[1])
+            return f"{kb / (1024 * 1024):.1f} GB"
+    return "unknown"
+
+
+def _cache_sizes() -> Dict[str, str]:
+    caches: Dict[str, str] = {}
+    base = "/sys/devices/system/cpu/cpu0/cache"
+    if not os.path.isdir(base):
+        return caches
+    for entry in sorted(os.listdir(base)):
+        if not entry.startswith("index"):
+            continue
+        level = _read_proc(os.path.join(base, entry, "level")).strip()
+        ctype = _read_proc(os.path.join(base, entry, "type")).strip()
+        size = _read_proc(os.path.join(base, entry, "size")).strip()
+        ways = _read_proc(
+            os.path.join(base, entry, "ways_of_associativity")
+        ).strip()
+        if not level or not size:
+            continue
+        label = f"L{level} cache" + (f" ({ctype.lower()})" if ctype else "")
+        desc = size + (f", {ways}-way set associative" if ways else "")
+        caches.setdefault(label, desc)
+    return caches
+
+
+def system_configuration() -> Dict[str, str]:
+    """Feature -> description rows, mirroring Table III's layout."""
+    rows: Dict[str, str] = {
+        "Operating System": f"{platform.system()} {platform.release()}",
+        "Processors": _cpu_model(),
+    }
+    rows.update(_cache_sizes())
+    rows["CPU count"] = str(os.cpu_count() or 1)
+    rows["Memory"] = _memory_total()
+    rows["Python"] = platform.python_version()
+    return rows

@@ -1,0 +1,224 @@
+"""Core value types shared across the SD-VBS reproduction.
+
+These types encode the vocabulary of the paper: the three input sizes
+(SQCIF/QCIF/CIF), the concentration areas of Table I, the data/compute
+characteristic of Table II, and the ILP/DLP/TLP parallelism classes of
+Table IV.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+
+class InputSize(enum.Enum):
+    """The three input scales shipped with SD-VBS.
+
+    The paper's Figure 2/3 x-axis labels these by relative pixel count:
+    SQCIF is "1", QCIF is "2" (roughly 2x the pixels of SQCIF) and CIF is
+    "4" (roughly 2x the pixels of QCIF).
+    """
+
+    SQCIF = (128, 96)
+    QCIF = (176, 144)
+    CIF = (352, 288)
+
+    @property
+    def width(self) -> int:
+        return self.value[0]
+
+    @property
+    def height(self) -> int:
+        return self.value[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, cols) shape for numpy images."""
+        return (self.value[1], self.value[0])
+
+    @property
+    def pixels(self) -> int:
+        return self.value[0] * self.value[1]
+
+    @property
+    def relative(self) -> int:
+        """The paper's relative size label: SQCIF=1, QCIF=2, CIF=4."""
+        return {InputSize.SQCIF: 1, InputSize.QCIF: 2, InputSize.CIF: 4}[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Number of distinct input variants provided per size (the paper ships
+#: "five distinct inputs for each of the sizes").
+VARIANTS_PER_SIZE = 5
+
+
+class ConcentrationArea(enum.Enum):
+    """Vision concentration areas of Table I."""
+
+    MOTION_TRACKING_STEREO = "Motion, Tracking and Stereo Vision"
+    IMAGE_ANALYSIS = "Image Analysis"
+    IMAGE_UNDERSTANDING = "Image Understanding"
+    IMAGE_PROCESSING_FORMATION = "Image Processing and Formation"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Characteristic(enum.Enum):
+    """Workload characteristic of Table II."""
+
+    DATA_INTENSIVE = "Data intensive"
+    COMPUTE_INTENSIVE = "Computationally intensive"
+    DATA_AND_COMPUTE = "Data and computationally intensive"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ParallelismClass(enum.Enum):
+    """Parallelism type assigned to each kernel in Table IV.
+
+    ILP: fine-grained parallelism exploitable within a basic block.
+    DLP: vector-style loops over large data sets with predictable access.
+    TLP: independent coarse tasks schedulable simultaneously.
+    """
+
+    ILP = "ILP"
+    DLP = "DLP"
+    TLP = "TLP"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Static description of one named kernel of an application."""
+
+    name: str
+    description: str
+    parallelism_class: ParallelismClass
+
+
+@dataclass
+class KernelSample:
+    """Accumulated timing for one kernel within a single benchmark run."""
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+
+    def merge(self, other: "KernelSample") -> None:
+        if other.name != self.name:
+            raise ValueError(f"cannot merge {other.name!r} into {self.name!r}")
+        self.seconds += other.seconds
+        self.calls += other.calls
+
+
+#: Label used for time not attributed to any named kernel (the paper's
+#: "Non-Kernel Work" slice of Figure 3).
+NON_KERNEL_WORK = "NonKernelWork"
+
+
+@dataclass
+class BenchmarkRun:
+    """Result of one application run on one input.
+
+    ``kernel_seconds`` maps kernel name -> wall seconds spent inside that
+    kernel (exclusive of nested named kernels).  ``total_seconds`` is the
+    full application wall time, so occupancy percentages are
+    ``kernel_seconds[k] / total_seconds`` and the remainder is non-kernel
+    work.
+    """
+
+    benchmark: str
+    size: InputSize
+    variant: int
+    total_seconds: float
+    kernel_seconds: Dict[str, float] = field(default_factory=dict)
+    kernel_calls: Dict[str, int] = field(default_factory=dict)
+    outputs: Mapping[str, object] = field(default_factory=dict)
+
+    def occupancy(self) -> Dict[str, float]:
+        """Percentage of total runtime per kernel, plus non-kernel work.
+
+        Matches the y-axis of the paper's Figure 3.
+        """
+        if self.total_seconds <= 0.0:
+            return {NON_KERNEL_WORK: 100.0}
+        shares = {
+            name: 100.0 * seconds / self.total_seconds
+            for name, seconds in self.kernel_seconds.items()
+        }
+        attributed = sum(self.kernel_seconds.values())
+        residual = max(0.0, self.total_seconds - attributed)
+        shares[NON_KERNEL_WORK] = 100.0 * residual / self.total_seconds
+        return shares
+
+
+@dataclass
+class ScalingPoint:
+    """One point of Figure 2: relative input size vs relative runtime."""
+
+    benchmark: str
+    relative_size: int
+    relative_time: float
+
+
+@dataclass(frozen=True)
+class ParallelismEstimate:
+    """One row of Table IV: kernel work/span parallelism and its type."""
+
+    benchmark: str
+    kernel: str
+    parallelism: float
+    parallelism_class: ParallelismClass
+    work: int
+    span: int
+
+
+@dataclass
+class SuiteResult:
+    """All runs collected by the suite runner, grouped for reporting."""
+
+    runs: List[BenchmarkRun] = field(default_factory=list)
+
+    def for_benchmark(self, name: str) -> List[BenchmarkRun]:
+        return [run for run in self.runs if run.benchmark == name]
+
+    def benchmarks(self) -> List[str]:
+        seen: List[str] = []
+        for run in self.runs:
+            if run.benchmark not in seen:
+                seen.append(run.benchmark)
+        return seen
+
+    def mean_total(self, benchmark: str, size: InputSize) -> Optional[float]:
+        """Mean wall time over variants for one benchmark at one size."""
+        times = [
+            run.total_seconds
+            for run in self.runs
+            if run.benchmark == benchmark and run.size == size
+        ]
+        if not times:
+            return None
+        return sum(times) / len(times)
+
+    def mean_occupancy(self, benchmark: str, size: InputSize) -> Dict[str, float]:
+        """Mean per-kernel occupancy over variants (Figure 3 bars)."""
+        runs = [
+            run
+            for run in self.runs
+            if run.benchmark == benchmark and run.size == size
+        ]
+        if not runs:
+            return {}
+        totals: Dict[str, float] = {}
+        for run in runs:
+            for kernel, share in run.occupancy().items():
+                totals[kernel] = totals.get(kernel, 0.0) + share
+        return {kernel: total / len(runs) for kernel, total in totals.items()}

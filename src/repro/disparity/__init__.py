@@ -1,0 +1,36 @@
+"""Disparity Map: dense stereo depth (Motion, Tracking and Stereo Vision)."""
+
+from .algorithm import (
+    DisparityResult,
+    correlate_window,
+    dense_disparity,
+    disparity_error,
+    shift_right,
+    ssd_map,
+)
+from .benchmark import BENCHMARK, KERNELS, MAX_DISPARITY, WINDOW
+from .refine import (
+    ConsistencyResult,
+    dense_disparity_sad,
+    disparity_right_to_left,
+    left_right_consistency,
+    subpixel_disparity,
+)
+
+__all__ = [
+    "BENCHMARK",
+    "KERNELS",
+    "MAX_DISPARITY",
+    "WINDOW",
+    "ConsistencyResult",
+    "DisparityResult",
+    "correlate_window",
+    "dense_disparity",
+    "dense_disparity_sad",
+    "disparity_right_to_left",
+    "disparity_error",
+    "left_right_consistency",
+    "subpixel_disparity",
+    "shift_right",
+    "ssd_map",
+]

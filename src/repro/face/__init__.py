@@ -1,0 +1,51 @@
+"""Face Detection: Viola-Jones Haar cascade."""
+
+from .adaboost import BoostedStage, Cascade, Stump, best_stump, train_cascade, train_stage
+from .benchmark import BENCHMARK, KERNELS, STAGE_SIZES, trained_cascade
+from .evaluate import (
+    EvaluationResult,
+    evaluate_detector,
+    match_detections,
+    operating_curve,
+    shift_thresholds,
+)
+from .detector import (
+    Detection,
+    detect_faces,
+    detection_hit_rate,
+    merge_detections,
+)
+from .haar import (
+    WINDOW,
+    HaarFeature,
+    evaluate_features_on_patches,
+    feature_pool,
+    make_feature,
+)
+
+__all__ = [
+    "BENCHMARK",
+    "KERNELS",
+    "STAGE_SIZES",
+    "WINDOW",
+    "BoostedStage",
+    "Cascade",
+    "Detection",
+    "EvaluationResult",
+    "HaarFeature",
+    "Stump",
+    "best_stump",
+    "detect_faces",
+    "evaluate_detector",
+    "detection_hit_rate",
+    "evaluate_features_on_patches",
+    "feature_pool",
+    "make_feature",
+    "match_detections",
+    "merge_detections",
+    "operating_curve",
+    "shift_thresholds",
+    "train_cascade",
+    "train_stage",
+    "trained_cascade",
+]

@@ -1,0 +1,207 @@
+"""Multi-scale sliding-window face detection with a trained cascade.
+
+Kernel attribution follows the paper's decomposition of the Viola-Jones
+benchmark ("extract faces" doing preprocessing + features, then
+feature-granularity work):
+
+* ``IntegralImage`` — integral/squared-integral pyramids per scale.
+* ``ExtractFaces`` — the cascaded sliding-window scan itself.
+* ``Merge`` — grouping of overlapping raw detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from ..imgproc.integral import integral_image
+from ..imgproc.interpolate import resize
+from .adaboost import Cascade
+from .haar import WINDOW
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A detected face box in input-image coordinates."""
+
+    row: int
+    col: int
+    side: int
+    score: float
+
+
+def _rect_sums_grid(ii: np.ndarray, rr: np.ndarray, cc: np.ndarray,
+                    r0: int, c0: int, r1: int, c1: int) -> np.ndarray:
+    """Rectangle sums of one window-relative rect at every window origin.
+
+    ``rr``/``cc`` are the window-origin grids; the rect spans
+    ``[r0:r1, c0:c1]`` inside each window.
+    """
+    return (
+        ii[rr + r1, cc + c1]
+        - ii[rr + r0, cc + c1]
+        - ii[rr + r1, cc + c0]
+        + ii[rr + r0, cc + c0]
+    )
+
+
+def _scan_scale(
+    cascade: Cascade,
+    image: np.ndarray,
+    stride: int,
+) -> List[Tuple[int, int, float]]:
+    """Scan one (already resized) image; returns (row, col, score) hits.
+
+    Windows are variance-normalized through the integral images: for a
+    window with mean m and std s, each rectangle sum of the normalized
+    patch equals (raw_sum - area * m) / s, which the stump thresholds
+    assume (they were trained on normalized patches).
+
+    The scan is vectorized per stage over all still-alive windows — the
+    attentional cascade's early exit shows up as the surviving-window set
+    shrinking stage by stage.
+    """
+    rows, cols = image.shape
+    if rows < WINDOW or cols < WINDOW:
+        return []
+    ii = integral_image(image)
+    ii2 = integral_image(image * image)
+    area = float(WINDOW * WINDOW)
+    rr, cc = np.mgrid[
+        0 : rows - WINDOW + 1 : stride, 0 : cols - WINDOW + 1 : stride
+    ]
+    rr = rr.ravel()
+    cc = cc.ravel()
+    total = _rect_sums_grid(ii, rr, cc, 0, 0, WINDOW, WINDOW)
+    total2 = _rect_sums_grid(ii2, rr, cc, 0, 0, WINDOW, WINDOW)
+    mean = total / area
+    var = np.maximum(0.0, total2 / area - mean * mean)
+    std = np.where(var > 1e-12, np.sqrt(var), 1.0)
+    signed_areas = [
+        sum(
+            rect[4] * (rect[2] - rect[0]) * (rect[3] - rect[1])
+            for rect in feature.rects
+        )
+        for feature in cascade.features
+    ]
+    alive = np.ones(rr.size, dtype=bool)
+    scores = np.zeros(rr.size)
+    # Cache raw feature responses per feature index for alive windows.
+    for stage in cascade.stages:
+        if not alive.any():
+            break
+        idx = np.nonzero(alive)[0]
+        sub_rr, sub_cc = rr[idx], cc[idx]
+        stage_scores = np.zeros(idx.size)
+        for stump in stage.stumps:
+            feature = cascade.features[stump.feature_index]
+            raw = np.zeros(idx.size)
+            for r0, c0, r1, c1, weight in feature.rects:
+                raw += weight * _rect_sums_grid(ii, sub_rr, sub_cc,
+                                                r0, c0, r1, c1)
+            value = (
+                raw - signed_areas[stump.feature_index] * mean[idx]
+            ) / std[idx]
+            if stump.polarity > 0:
+                fired = value >= stump.threshold
+            else:
+                fired = value < stump.threshold
+            stage_scores += stump.alpha * fired
+        passed = stage_scores >= stage.stage_threshold
+        scores[idx[passed]] += stage_scores[passed]
+        alive[idx[~passed]] = False
+    return [
+        (int(rr[i]), int(cc[i]), float(scores[i]))
+        for i in np.nonzero(alive)[0]
+    ]
+
+
+def merge_detections(
+    raw: Sequence[Detection], overlap: float = 0.3
+) -> List[Detection]:
+    """Greedy non-maximum grouping of overlapping boxes (best score wins)."""
+    ordered = sorted(raw, key=lambda d: d.score, reverse=True)
+    kept: List[Detection] = []
+    for det in ordered:
+        absorbed = False
+        for existing in kept:
+            if _overlap_ratio(det, existing) > overlap:
+                absorbed = True
+                break
+        if not absorbed:
+            kept.append(det)
+    return kept
+
+
+def _overlap_ratio(a: Detection, b: Detection) -> float:
+    r0 = max(a.row, b.row)
+    c0 = max(a.col, b.col)
+    r1 = min(a.row + a.side, b.row + b.side)
+    c1 = min(a.col + a.side, b.col + b.side)
+    if r1 <= r0 or c1 <= c0:
+        return 0.0
+    intersection = (r1 - r0) * (c1 - c0)
+    union = a.side * a.side + b.side * b.side - intersection
+    return intersection / union
+
+
+def detect_faces(
+    cascade: Cascade,
+    image: np.ndarray,
+    scales: Sequence[float] = (1.0, 1.25, 1.6, 2.0),
+    stride: int = 2,
+    profiler: Optional[KernelProfiler] = None,
+) -> List[Detection]:
+    """Run the cascade over ``image`` at multiple scales.
+
+    ``scales`` multiply the nominal window size: scale ``s`` is realized
+    by shrinking the image by ``1/s`` and scanning with the canonical
+    window.  Returns merged detections in input coordinates.
+    """
+    profiler = ensure_profiler(profiler)
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    raw: List[Detection] = []
+    for scale in scales:
+        if scale < 1.0:
+            raise ValueError("scales must be >= 1.0")
+        with profiler.kernel("IntegralImage"):
+            rows = int(round(image.shape[0] / scale))
+            cols = int(round(image.shape[1] / scale))
+            if rows < WINDOW or cols < WINDOW:
+                continue
+            scaled = resize(image, rows, cols) if scale != 1.0 else image
+        with profiler.kernel("ExtractFaces"):
+            hits = _scan_scale(cascade, scaled, stride)
+        for r, c, score in hits:
+            raw.append(
+                Detection(
+                    row=int(round(r * scale)),
+                    col=int(round(c * scale)),
+                    side=int(round(WINDOW * scale)),
+                    score=score,
+                )
+            )
+    with profiler.kernel("Merge"):
+        merged = merge_detections(raw)
+    return merged
+
+
+def detection_hit_rate(
+    detections: Sequence[Detection],
+    true_boxes: Sequence[Tuple[int, int, int]],
+    tolerance: float = 0.5,
+) -> float:
+    """Fraction of true boxes matched by some detection (IoU-style)."""
+    if not true_boxes:
+        return 1.0
+    hits = 0
+    for tr, tc, ts in true_boxes:
+        truth = Detection(row=tr, col=tc, side=ts, score=0.0)
+        if any(_overlap_ratio(d, truth) >= tolerance * 0.5 for d in detections):
+            hits += 1
+    return hits / len(true_boxes)

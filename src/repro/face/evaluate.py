@@ -1,0 +1,118 @@
+"""Detector evaluation: precision/recall over scenes and thresholds.
+
+The benchmark reports detections; this module adds the measurement layer
+a detector release needs: matching detections to ground-truth boxes,
+precision/recall/F1 over a scene set, and an operating curve produced by
+sweeping a global offset on the cascade's stage thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .adaboost import BoostedStage, Cascade
+from .detector import Detection, _overlap_ratio, detect_faces
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Aggregate detection quality over a set of scenes."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+
+def match_detections(
+    detections: Sequence[Detection],
+    true_boxes: Sequence[Tuple[int, int, int]],
+    min_overlap: float = 0.25,
+) -> Tuple[int, int, int]:
+    """Greedy one-to-one matching; returns (tp, fp, fn)."""
+    unmatched = list(range(len(true_boxes)))
+    tp = 0
+    fp = 0
+    for det in sorted(detections, key=lambda d: d.score, reverse=True):
+        best_index = -1
+        best_overlap = min_overlap
+        for position, truth_index in enumerate(unmatched):
+            tr, tc, ts = true_boxes[truth_index]
+            overlap = _overlap_ratio(
+                det, Detection(row=tr, col=tc, side=ts, score=0.0)
+            )
+            if overlap >= best_overlap:
+                best_overlap = overlap
+                best_index = position
+        if best_index >= 0:
+            unmatched.pop(best_index)
+            tp += 1
+        else:
+            fp += 1
+    return tp, fp, len(unmatched)
+
+
+def evaluate_detector(
+    cascade: Cascade,
+    scenes: Sequence[Tuple[np.ndarray, Sequence[Tuple[int, int, int]]]],
+    min_overlap: float = 0.25,
+) -> EvaluationResult:
+    """Precision/recall of ``cascade`` over ``(image, true_boxes)`` scenes."""
+    tp = fp = fn = 0
+    for image, true_boxes in scenes:
+        detections = detect_faces(cascade, image)
+        scene_tp, scene_fp, scene_fn = match_detections(
+            detections, true_boxes, min_overlap
+        )
+        tp += scene_tp
+        fp += scene_fp
+        fn += scene_fn
+    return EvaluationResult(true_positives=tp, false_positives=fp,
+                            false_negatives=fn)
+
+
+def shift_thresholds(cascade: Cascade, offset: float) -> Cascade:
+    """A copy of ``cascade`` with every stage threshold shifted by
+    ``offset`` (positive = stricter, fewer detections)."""
+    stages = [
+        BoostedStage(
+            stumps=list(stage.stumps),
+            stage_threshold=stage.stage_threshold + offset,
+        )
+        for stage in cascade.stages
+    ]
+    return Cascade(features=cascade.features, stages=stages)
+
+
+def operating_curve(
+    cascade: Cascade,
+    scenes: Sequence[Tuple[np.ndarray, Sequence[Tuple[int, int, int]]]],
+    offsets: Sequence[float] = (-0.5, -0.25, 0.0, 0.25, 0.5, 1.0),
+) -> List[Tuple[float, EvaluationResult]]:
+    """Sweep stage-threshold offsets; returns (offset, evaluation) pairs.
+
+    Stricter thresholds trade recall for precision — the detector's
+    ROC-style operating curve.
+    """
+    curve = []
+    for offset in offsets:
+        shifted = shift_thresholds(cascade, offset)
+        curve.append((offset, evaluate_detector(shifted, scenes)))
+    return curve

@@ -1,0 +1,49 @@
+"""Color conversion and intensity normalization helpers.
+
+The suite's inputs arrive as RGB bitmaps and are converted to grayscale
+before processing; synthetic inputs here are already gray, but the
+conversion kernels are part of the benchmark surface and used by tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ITU-R BT.601 luma weights, the suite's RGB->gray formula.
+LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+
+def rgb_to_gray(image: np.ndarray) -> np.ndarray:
+    """Convert an ``(rows, cols, 3)`` RGB image to grayscale luma."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (rows, cols, 3) RGB, got {image.shape}")
+    return image @ LUMA_WEIGHTS
+
+
+def gray_to_rgb(image: np.ndarray) -> np.ndarray:
+    """Replicate a grayscale image across three channels."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    return np.repeat(image[:, :, None], 3, axis=2)
+
+
+def normalize(image: np.ndarray) -> np.ndarray:
+    """Affinely rescale to [0, 1]; a constant image maps to all zeros."""
+    image = np.asarray(image, dtype=np.float64)
+    low = image.min()
+    span = image.max() - low
+    if span == 0.0:
+        return np.zeros_like(image)
+    return (image - low) / span
+
+
+def standardize(image: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance rescale; constant images map to zeros."""
+    image = np.asarray(image, dtype=np.float64)
+    centered = image - image.mean()
+    std = centered.std()
+    if std == 0.0:
+        return centered
+    return centered / std

@@ -1,0 +1,80 @@
+"""Integral images and windowed area sums.
+
+"Integral Image" and "Area Sum" are among the most shared kernels of the
+suite (disparity, tracking, SIFT, face detection all use them).  The
+integral image ``I`` of ``f`` satisfies ``I[r, c] = sum f[:r, :c]``; any
+axis-aligned rectangle sum then costs four lookups, which is what makes
+Viola-Jones feature evaluation and disparity window aggregation cheap.
+
+The serial double-scan used here is exactly the suite's loop structure; its
+ideal-dataflow parallelism is nevertheless enormous because each scan
+reassociates into a parallel prefix (see :class:`repro.core.dataflow.Scan`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def integral_image(image: np.ndarray) -> np.ndarray:
+    """Summed-area table with a leading zero row/column.
+
+    Output shape is ``(rows + 1, cols + 1)`` so that
+    ``rect_sum(ii, r0, c0, r1, c1)`` needs no boundary special cases.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    rows, cols = image.shape
+    out = np.zeros((rows + 1, cols + 1), dtype=np.float64)
+    out[1:, 1:] = image.cumsum(axis=0).cumsum(axis=1)
+    return out
+
+
+def squared_integral_image(image: np.ndarray) -> np.ndarray:
+    """Summed-area table of the squared image (for windowed variance)."""
+    image = np.asarray(image, dtype=np.float64)
+    return integral_image(image * image)
+
+
+def rect_sum(ii: np.ndarray, r0: int, c0: int, r1: int, c1: int) -> float:
+    """Sum of ``image[r0:r1, c0:c1]`` via four integral-image lookups."""
+    if not (0 <= r0 <= r1 < ii.shape[0] and 0 <= c0 <= c1 < ii.shape[1]):
+        raise IndexError(
+            f"rectangle ({r0},{c0})-({r1},{c1}) outside table {ii.shape}"
+        )
+    return float(ii[r1, c1] - ii[r0, c1] - ii[r1, c0] + ii[r0, c0])
+
+
+def window_sums(image: np.ndarray, win: int) -> np.ndarray:
+    """Sum of every ``win x win`` window, via the integral image.
+
+    Returns shape ``(rows - win + 1, cols - win + 1)``; this is the
+    disparity benchmark's "Area Sum" aggregation over SSD maps.
+    """
+    if win < 1:
+        raise ValueError("window size must be positive")
+    rows, cols = np.asarray(image).shape
+    if win > rows or win > cols:
+        raise ValueError(f"window {win} exceeds image shape {(rows, cols)}")
+    ii = integral_image(image)
+    return (
+        ii[win:, win:]
+        - ii[:-win, win:]
+        - ii[win:, :-win]
+        + ii[:-win, :-win]
+    )
+
+
+def window_means(image: np.ndarray, win: int) -> np.ndarray:
+    """Mean of every ``win x win`` window."""
+    return window_sums(image, win) / float(win * win)
+
+
+def window_variances(image: np.ndarray, win: int) -> np.ndarray:
+    """Population variance of every ``win x win`` window (clipped at 0)."""
+    mean = window_means(image, win)
+    mean_sq = window_sums(np.asarray(image, dtype=np.float64) ** 2, win) / float(
+        win * win
+    )
+    return np.maximum(0.0, mean_sq - mean * mean)

@@ -1,0 +1,75 @@
+"""Sampling and resampling: bilinear lookup, resize, upsample, downsample.
+
+SIFT's preprocessing upsamples the input 2x with (anti-aliased) linear
+interpolation — the paper calls this out as a data/compute-intensive
+"Interpolation" kernel — and the pyramid code downsamples by 2.  KLT
+tracking samples patches at sub-pixel positions with :func:`bilinear`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bilinear(image: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Sample ``image`` at fractional ``(rows, cols)`` positions.
+
+    Positions are clamped to the valid square, so out-of-range queries
+    return edge values (replicate semantics, matching the filters).
+    ``rows``/``cols`` may be scalars or arrays of any matching shape.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    height, width = image.shape
+    r = np.clip(np.asarray(rows, dtype=np.float64), 0.0, height - 1.0)
+    c = np.clip(np.asarray(cols, dtype=np.float64), 0.0, width - 1.0)
+    r0 = np.floor(r).astype(np.int64)
+    c0 = np.floor(c).astype(np.int64)
+    r1 = np.minimum(r0 + 1, height - 1)
+    c1 = np.minimum(c0 + 1, width - 1)
+    fr = r - r0
+    fc = c - c0
+    top = image[r0, c0] * (1.0 - fc) + image[r0, c1] * fc
+    bottom = image[r1, c0] * (1.0 - fc) + image[r1, c1] * fc
+    return top * (1.0 - fr) + bottom * fr
+
+
+def resize(image: np.ndarray, out_rows: int, out_cols: int) -> np.ndarray:
+    """Bilinear resize to ``(out_rows, out_cols)``.
+
+    Sample positions align the corner pixels of source and destination
+    (endpoint mapping), matching the suite's MATLAB-style ``imresize``.
+    """
+    if out_rows < 1 or out_cols < 1:
+        raise ValueError("output dimensions must be positive")
+    image = np.asarray(image, dtype=np.float64)
+    in_rows, in_cols = image.shape
+    rr = (
+        np.linspace(0.0, in_rows - 1.0, out_rows)
+        if out_rows > 1
+        else np.array([(in_rows - 1) / 2.0])
+    )
+    cc = (
+        np.linspace(0.0, in_cols - 1.0, out_cols)
+        if out_cols > 1
+        else np.array([(in_cols - 1) / 2.0])
+    )
+    grid_r, grid_c = np.meshgrid(rr, cc, indexing="ij")
+    return bilinear(image, grid_r, grid_c)
+
+
+def upsample2(image: np.ndarray) -> np.ndarray:
+    """Double both dimensions with bilinear interpolation (SIFT preprocess)."""
+    rows, cols = np.asarray(image).shape
+    return resize(image, rows * 2, cols * 2)
+
+
+def downsample2(image: np.ndarray) -> np.ndarray:
+    """Halve both dimensions by taking every other sample.
+
+    Callers are expected to low-pass first (see
+    :func:`repro.imgproc.pyramid.gaussian_pyramid`), as the suite does.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    return image[::2, ::2].copy()

@@ -1,0 +1,95 @@
+"""PGM image I/O — run the suite on real images.
+
+The original SD-VBS distributes its inputs as image files; this module
+reads and writes portable graymaps (both the ASCII ``P2`` and binary
+``P5`` flavours, 8- or 16-bit) so any grayscale image can be fed to the
+applications.  Values are normalized to ``float64`` in [0, 1] on read and
+quantized back on write.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _tokenize_header(data: bytes) -> tuple:
+    """Parse magic, width, height, maxval; return them plus the offset of
+    the pixel payload."""
+    # Strip comments while scanning tokens.
+    tokens = []
+    position = 0
+    while len(tokens) < 4:
+        match = re.match(
+            rb"\s*(#[^\n]*\n|\S+)", data[position:]
+        )
+        if match is None:
+            raise ValueError("truncated PGM header")
+        token = match.group(1)
+        position += match.end()
+        if not token.startswith(b"#"):
+            tokens.append(token)
+    magic = tokens[0].decode("ascii")
+    if magic not in ("P2", "P5"):
+        raise ValueError(f"not a PGM file (magic {magic!r})")
+    width = int(tokens[1])
+    height = int(tokens[2])
+    maxval = int(tokens[3])
+    if width < 1 or height < 1:
+        raise ValueError("invalid PGM dimensions")
+    if not 0 < maxval < 65536:
+        raise ValueError(f"invalid maxval {maxval}")
+    return magic, width, height, maxval, position
+
+
+def read_pgm(path: PathLike) -> np.ndarray:
+    """Read a PGM file into a float64 image in [0, 1]."""
+    data = Path(path).read_bytes()
+    magic, width, height, maxval, offset = _tokenize_header(data)
+    count = width * height
+    if magic == "P2":
+        values = np.array(
+            data[offset:].split()[:count], dtype=np.float64
+        )
+        if values.size != count:
+            raise ValueError("truncated P2 pixel data")
+    else:
+        # P5: exactly one whitespace byte separates the maxval token from
+        # the payload — skip it.
+        offset += 1
+        dtype = np.dtype(">u2") if maxval > 255 else np.dtype("u1")
+        payload = data[offset : offset + count * dtype.itemsize]
+        if len(payload) != count * dtype.itemsize:
+            raise ValueError("truncated P5 pixel data")
+        values = np.frombuffer(payload, dtype=dtype).astype(np.float64)
+    return (values / maxval).reshape(height, width)
+
+
+def write_pgm(path: PathLike, image: np.ndarray, maxval: int = 255,
+              binary: bool = True) -> None:
+    """Write a [0, 1] float image as a PGM file.
+
+    Values outside [0, 1] are clipped.  ``maxval`` up to 65535 selects
+    16-bit output.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    if not 0 < maxval < 65536:
+        raise ValueError(f"invalid maxval {maxval}")
+    quantized = np.rint(np.clip(image, 0.0, 1.0) * maxval).astype(np.int64)
+    height, width = image.shape
+    if binary:
+        header = f"P5\n{width} {height}\n{maxval}\n".encode("ascii")
+        dtype = np.dtype(">u2") if maxval > 255 else np.dtype("u1")
+        Path(path).write_bytes(header + quantized.astype(dtype).tobytes())
+    else:
+        lines = [f"P2\n{width} {height}\n{maxval}"]
+        for row in quantized:
+            lines.append(" ".join(str(int(v)) for v in row))
+        Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")

@@ -1,0 +1,89 @@
+"""Image pyramids: Gaussian stacks, multi-level pyramids, DoG pyramids.
+
+KLT tracking uses a coarse-to-fine Gaussian pyramid; SIFT builds per-octave
+Gaussian stacks and differences adjacent levels into the DoG pyramid whose
+3-D extrema are keypoint candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .filters import gaussian_blur
+from .interpolate import downsample2
+
+
+def gaussian_pyramid(image: np.ndarray, levels: int,
+                     sigma: float = 1.0) -> List[np.ndarray]:
+    """Coarse-to-fine pyramid: level 0 is the input, each next level is
+    blurred then decimated by 2.
+
+    Raises if ``levels`` would shrink the image below 2 pixels a side.
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    image = np.asarray(image, dtype=np.float64)
+    pyramid = [image.copy()]
+    current = image
+    for _ in range(levels - 1):
+        if min(current.shape) < 4:
+            raise ValueError(
+                f"image of shape {image.shape} cannot support {levels} levels"
+            )
+        current = downsample2(gaussian_blur(current, sigma))
+        pyramid.append(current)
+    return pyramid
+
+
+@dataclass(frozen=True)
+class ScaleSpace:
+    """One octave's Gaussian stack plus its DoG differences.
+
+    ``gaussians[i]`` has blur ``sigma0 * k**i``; ``dogs[i]`` is
+    ``gaussians[i+1] - gaussians[i]``.
+    """
+
+    octave: int
+    sigmas: List[float]
+    gaussians: List[np.ndarray]
+    dogs: List[np.ndarray]
+
+
+def scale_space(image: np.ndarray, n_octaves: int, scales_per_octave: int = 3,
+                sigma0: float = 1.6) -> List[ScaleSpace]:
+    """Build SIFT's Gaussian/DoG scale space.
+
+    Each octave holds ``scales_per_octave + 3`` Gaussian images (so that
+    ``scales_per_octave`` DoG triples have both neighbours), with blur
+    ratio ``k = 2 ** (1 / scales_per_octave)``.  The next octave starts
+    from the Gaussian image with twice the base blur, decimated by 2.
+    """
+    if n_octaves < 1:
+        raise ValueError("need at least one octave")
+    if scales_per_octave < 1:
+        raise ValueError("need at least one scale per octave")
+    k = 2.0 ** (1.0 / scales_per_octave)
+    n_gauss = scales_per_octave + 3
+    current = np.asarray(image, dtype=np.float64)
+    octaves: List[ScaleSpace] = []
+    for octave in range(n_octaves):
+        if min(current.shape) < 8:
+            break
+        sigmas = [sigma0 * (k**i) for i in range(n_gauss)]
+        gaussians = [gaussian_blur(current, sigmas[0])]
+        for i in range(1, n_gauss):
+            # Incremental blur: sigma_extra takes level i-1 to level i.
+            sigma_extra = (sigmas[i] ** 2 - sigmas[i - 1] ** 2) ** 0.5
+            gaussians.append(gaussian_blur(gaussians[i - 1], sigma_extra))
+        dogs = [gaussians[i + 1] - gaussians[i] for i in range(n_gauss - 1)]
+        octaves.append(
+            ScaleSpace(octave=octave, sigmas=sigmas, gaussians=gaussians,
+                       dogs=dogs)
+        )
+        current = downsample2(gaussians[scales_per_octave])
+    if not octaves:
+        raise ValueError(f"image of shape {image.shape} too small for SIFT")
+    return octaves

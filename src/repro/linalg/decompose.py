@@ -1,0 +1,134 @@
+"""Orthogonal decompositions: Householder QR and one-sided Jacobi SVD.
+
+"QR factorizations" appears in the segmentation benchmark's kernel list
+(the discretization step orthogonalizes its rotation iteratively) and
+"SVD" in image stitch (homography estimation / RANSAC model fitting).
+Both are implemented directly rather than delegated to LAPACK.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def qr_decompose(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Householder QR of an ``m x n`` matrix with ``m >= n``.
+
+    Returns the thin factors: ``q`` is ``m x n`` with orthonormal columns,
+    ``r`` is ``n x n`` upper triangular with non-negative diagonal, and
+    ``q @ r == a``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {a.shape}")
+    m, n = a.shape
+    if m < n:
+        raise ValueError(f"QR requires m >= n, got {a.shape}")
+    r = a.copy()
+    q_full = np.eye(m)
+    for col in range(n):
+        x = r[col:, col]
+        norm_x = np.linalg.norm(x)
+        if norm_x == 0.0:
+            continue
+        v = x.copy()
+        v[0] += np.copysign(norm_x, x[0] if x[0] != 0 else 1.0)
+        v_norm = np.linalg.norm(v)
+        if v_norm == 0.0:
+            continue
+        v /= v_norm
+        r[col:, col:] -= 2.0 * np.outer(v, v @ r[col:, col:])
+        q_full[:, col:] -= 2.0 * np.outer(q_full[:, col:] @ v, v)
+    q = q_full[:, :n]
+    r = np.triu(r[:n, :])
+    # Normalize signs so the diagonal of R is non-negative (unique thin QR).
+    signs = np.where(np.diag(r) < 0.0, -1.0, 1.0)
+    return q * signs, r * signs[:, None]
+
+
+def svd_jacobi(a: np.ndarray, tol: float = 1e-12,
+               max_sweeps: int = 60) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One-sided Jacobi SVD of an ``m x n`` matrix with ``m >= n``.
+
+    Returns ``(u, s, vt)`` with ``u`` ``m x n`` column-orthonormal, ``s``
+    the singular values in descending order, and ``u @ diag(s) @ vt == a``.
+
+    The one-sided method repeatedly rotates column pairs of a working copy
+    until all pairs are mutually orthogonal; the column norms are then the
+    singular values.  Accumulating the rotations yields ``v``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {a.shape}")
+    transposed = a.shape[0] < a.shape[1]
+    work = a.T.copy() if transposed else a.copy()
+    m, n = work.shape
+    v = np.eye(n)
+    frobenius = np.linalg.norm(work)
+    threshold = tol * max(frobenius, 1.0)
+    for _sweep in range(max_sweeps):
+        off_diagonal = 0.0
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                alpha = float(work[:, p] @ work[:, p])
+                beta = float(work[:, q] @ work[:, q])
+                gamma = float(work[:, p] @ work[:, q])
+                off_diagonal = max(off_diagonal, abs(gamma))
+                if abs(gamma) <= threshold * threshold:
+                    continue
+                zeta = (beta - alpha) / (2.0 * gamma)
+                t = np.sign(zeta) / (abs(zeta) + np.hypot(1.0, zeta))
+                c = 1.0 / np.hypot(1.0, t)
+                s = c * t
+                col_p = work[:, p].copy()
+                work[:, p] = c * col_p - s * work[:, q]
+                work[:, q] = s * col_p + c * work[:, q]
+                vcol_p = v[:, p].copy()
+                v[:, p] = c * vcol_p - s * v[:, q]
+                v[:, q] = s * vcol_p + c * v[:, q]
+        if off_diagonal <= threshold * threshold:
+            break
+    singular = np.linalg.norm(work, axis=0)
+    order = np.argsort(singular)[::-1]
+    singular = singular[order]
+    work = work[:, order]
+    v = v[:, order]
+    u = np.zeros((m, n))
+    for j in range(n):
+        if singular[j] > threshold:
+            u[:, j] = work[:, j] / singular[j]
+        else:
+            # Null-space column: extend to an orthonormal set.
+            basis = np.zeros(m)
+            basis[j % m] = 1.0
+            for k in range(j):
+                basis -= (u[:, k] @ basis) * u[:, k]
+            norm = np.linalg.norm(basis)
+            u[:, j] = basis / norm if norm > 0 else basis
+    if transposed:
+        # We factored a.T = u s v^T, so a = v s u^T.
+        return v, singular, u.T
+    return u, singular, v.T
+
+
+def null_vector(a: np.ndarray) -> np.ndarray:
+    """Unit vector minimizing ``|a @ x|`` — the last right-singular vector.
+
+    This is the standard DLT step for homography estimation in stitch.
+    """
+    _u, _s, vt = svd_jacobi(a)
+    return vt[-1]
+
+
+def pseudo_inverse(a: np.ndarray, rcond: float = 1e-10) -> np.ndarray:
+    """Moore-Penrose pseudo-inverse built from :func:`svd_jacobi`."""
+    a = np.asarray(a, dtype=np.float64)
+    transposed = a.shape[0] < a.shape[1]
+    work = a.T if transposed else a
+    u, s, vt = svd_jacobi(work)
+    cutoff = rcond * (s[0] if s.size else 0.0)
+    inv_s = np.where(s > cutoff, 1.0 / np.where(s > cutoff, s, 1.0), 0.0)
+    pinv = vt.T @ (inv_s[:, None] * u.T)
+    return pinv.T if transposed else pinv

@@ -1,0 +1,88 @@
+"""Least-squares solvers — the stitch benchmark's "LS Solver" kernel.
+
+Two routes are provided: QR-based (the numerically preferred path used by
+RANSAC model fitting) and normal equations (the cheap path used where the
+system is tiny and well conditioned, e.g. KLT's 2x2 solves).  A conjugate-
+gradient solver covers the SVM benchmark's "Conjugate Matrix" kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .decompose import qr_decompose
+from .matrix import SingularMatrixError, solve
+
+
+def lstsq_qr(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Minimize ``|a @ x - b|`` via thin QR: solve ``R x = Q^T b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {a.shape}")
+    if b.shape[0] != a.shape[0]:
+        raise ValueError(f"rhs of shape {b.shape} incompatible with {a.shape}")
+    q, r = qr_decompose(a)
+    rhs = q.T @ b
+    n = a.shape[1]
+    diag = np.abs(np.diag(r))
+    if diag.min() <= 1e-12 * max(1.0, diag.max()):
+        raise SingularMatrixError("rank-deficient least-squares system")
+    x = np.zeros_like(rhs) if rhs.ndim > 1 else np.zeros(n)
+    if rhs.ndim == 1:
+        for row in range(n - 1, -1, -1):
+            x[row] = (rhs[row] - r[row, row + 1 :] @ x[row + 1 :]) / r[row, row]
+    else:
+        x = np.zeros((n, rhs.shape[1]))
+        for row in range(n - 1, -1, -1):
+            x[row] = (rhs[row] - r[row, row + 1 :] @ x[row + 1 :]) / r[row, row]
+    return x
+
+
+def lstsq_normal(a: np.ndarray, b: np.ndarray,
+                 ridge: float = 0.0) -> np.ndarray:
+    """Least squares via the normal equations ``(A^T A + ridge I) x = A^T b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    gram = a.T @ a
+    if ridge > 0.0:
+        gram = gram + ridge * np.eye(gram.shape[0])
+    return solve(gram, a.T @ b)
+
+
+def conjugate_gradient(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    max_iter: Optional[int] = None,
+) -> np.ndarray:
+    """Solve ``A x = b`` for symmetric positive-definite ``A`` by CG.
+
+    ``matvec`` applies ``A``; convergence is declared when the residual
+    norm falls below ``tol * |b|``.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - matvec(x)
+    p = r.copy()
+    rs_old = float(r @ r)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    limit = max_iter if max_iter is not None else 4 * n
+    for _ in range(limit):
+        if np.sqrt(rs_old) <= tol * b_norm:
+            break
+        ap = matvec(p)
+        denom = float(p @ ap)
+        if denom <= 0.0:
+            raise SingularMatrixError("operator is not positive definite")
+        alpha = rs_old / denom
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+    return x

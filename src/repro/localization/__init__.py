@@ -1,0 +1,27 @@
+"""Robot Localization: Monte Carlo localization with a particle filter."""
+
+from .benchmark import BENCHMARK, KERNELS, N_STEPS
+from .mapping import OccupancyGridMapper, map_from_trace, map_quality
+from .particle_filter import (
+    MonteCarloLocalizer,
+    default_particle_count,
+    ParticleSet,
+    localize,
+    position_error,
+    raycast_batch,
+)
+
+__all__ = [
+    "BENCHMARK",
+    "KERNELS",
+    "N_STEPS",
+    "MonteCarloLocalizer",
+    "OccupancyGridMapper",
+    "default_particle_count",
+    "ParticleSet",
+    "localize",
+    "map_from_trace",
+    "map_quality",
+    "position_error",
+    "raycast_batch",
+]

@@ -1,0 +1,109 @@
+"""Benchmark wiring for the Robot Localization (MCL) application."""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..core.dataflow import Chain, Op, ParMap, Reduce, Scan, Seq
+from ..core.inputs import robot_world
+from ..core.profiler import KernelProfiler
+from ..core.registry import Benchmark
+from ..core.types import (
+    Characteristic,
+    ConcentrationArea,
+    InputSize,
+    KernelInfo,
+    ParallelismClass,
+    ParallelismEstimate,
+)
+from .particle_filter import localize, position_error
+
+N_STEPS = 48
+
+KERNELS = (
+    KernelInfo("ParticleFilter", "motion model and sensor weighting",
+               ParallelismClass.TLP),
+    KernelInfo("Sampling", "weighted particle resampling",
+               ParallelismClass.TLP),
+)
+
+
+def setup(size: InputSize, variant: int):
+    """Build the synthetic grid world and trace (untimed)."""
+    return (robot_world(size, variant, n_steps=N_STEPS), variant)
+
+
+def run(workload, profiler: KernelProfiler) -> Mapping[str, object]:
+    """Localize the robot through a prepared trace.
+
+    Matching the paper's observation, the cost is governed by the trace
+    and particle count, not the nominal input size (the map merely grows
+    with ``size``).
+    """
+    world, variant = workload
+    global_est = localize(world, seed=variant, mode="global",
+                          profiler=profiler)
+    tracking_est = localize(world, seed=variant, mode="tracking",
+                            profiler=profiler)
+    return {
+        "global_error": position_error(global_est, world.true_poses),
+        "tracking_error": position_error(tracking_est, world.true_poses),
+        "steps": len(global_est),
+    }
+
+
+def parallelism_models(size: InputSize) -> List[ParallelismEstimate]:
+    """Work/span models for the localization kernels.
+
+    Localization is not in the paper's Table IV; section III describes
+    both kernels as compute-heavy with irregular access.  Particles are
+    independent (TLP across particles) but each particle's ray march is a
+    serial chain, and the resampling prefix sum is the Sampling kernel's
+    dependence bottleneck.
+    """
+    side = max(24, size.height // 8)  # must match inputs.robot_world
+    ray_steps = 4 * side  # steps of 0.25 cells across the map
+    beams = 8
+    particle = Seq(
+        Op(12),  # trig-heavy pose update
+        ParMap(beams, Chain(ray_steps, Op(2))),
+        Reduce(beams),
+    )
+    n_particles = int(800 * (side / 24.0) ** 2)
+    particle_filter = Chain(N_STEPS, ParMap(n_particles, particle))
+    sampling = Chain(
+        N_STEPS,
+        Seq(Scan(n_particles), ParMap(n_particles, Op(6))),
+    )
+    estimates = []
+    for name, model in (
+        ("ParticleFilter", particle_filter),
+        ("Sampling", sampling),
+    ):
+        info = next(k for k in KERNELS if k.name == name)
+        estimates.append(
+            ParallelismEstimate(
+                benchmark="localization",
+                kernel=name,
+                parallelism=model.parallelism,
+                parallelism_class=info.parallelism_class,
+                work=model.work,
+                span=model.span,
+            )
+        )
+    return estimates
+
+
+BENCHMARK = Benchmark(
+    name="Robot Localization",
+    slug="localization",
+    area=ConcentrationArea.IMAGE_UNDERSTANDING,
+    description="Detect location based on environment",
+    characteristic=Characteristic.COMPUTE_INTENSIVE,
+    application_domain="Robotics",
+    kernels=KERNELS,
+    setup=setup,
+    run=run,
+    parallelism=parallelism_models,
+    in_figure2=True,
+)

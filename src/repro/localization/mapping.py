@@ -1,0 +1,127 @@
+"""Occupancy-grid mapping with a log-odds inverse sensor model.
+
+Localization's dual: given *known* poses and range scans, reconstruct the
+map.  Each beam updates the grid in log-odds form — cells along the ray
+get evidence of freeness, the cell at the measured range gets evidence of
+occupancy (unless the beam maxed out).  Together with
+:mod:`repro.localization.particle_filter` this covers both halves of the
+SLAM decomposition the robotics literature builds on MCL.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.inputs import RobotWorld
+from ..core.profiler import KernelProfiler, ensure_profiler
+
+
+@dataclass
+class OccupancyGridMapper:
+    """Incremental log-odds occupancy mapping on a fixed grid."""
+
+    shape: Tuple[int, int]
+    max_range: float
+    n_beams: int = 8
+    log_odds_hit: float = 1.2
+    log_odds_miss: float = -0.4
+    clamp: float = 8.0
+    step: float = 0.25
+    log_odds: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if min(self.shape) < 2:
+            raise ValueError("grid too small")
+        self.log_odds = np.zeros(self.shape)
+
+    def integrate_scan(
+        self,
+        pose: Tuple[float, float, float],
+        ranges: np.ndarray,
+        profiler: Optional[KernelProfiler] = None,
+    ) -> None:
+        """Fuse one range scan taken from ``pose`` (x, y, theta)."""
+        profiler = ensure_profiler(profiler)
+        x, y, theta = pose
+        ranges = np.asarray(ranges, dtype=np.float64)
+        if ranges.shape != (self.n_beams,):
+            raise ValueError(
+                f"expected {self.n_beams} ranges, got {ranges.shape}"
+            )
+        rows, cols = self.shape
+        with profiler.kernel("ParticleFilter"):
+            bearings = np.linspace(-math.pi, math.pi, self.n_beams,
+                                   endpoint=False)
+            for bearing, measured in zip(bearings, ranges):
+                angle = theta + bearing
+                cos_a, sin_a = math.cos(angle), math.sin(angle)
+                distance = 0.0
+                end = min(float(measured), self.max_range)
+                while distance < end - self.step:
+                    px = x + distance * cos_a
+                    py = y + distance * sin_a
+                    if not (0 <= px < cols and 0 <= py < rows):
+                        break
+                    self.log_odds[int(py), int(px)] += self.log_odds_miss
+                    distance += self.step
+                # Occupied endpoint (only for non-maxed beams).
+                if measured < self.max_range - self.step:
+                    px = x + end * cos_a
+                    py = y + end * sin_a
+                    if 0 <= px < cols and 0 <= py < rows:
+                        self.log_odds[int(py), int(px)] += self.log_odds_hit
+            np.clip(self.log_odds, -self.clamp, self.clamp,
+                    out=self.log_odds)
+
+    def occupancy_probability(self) -> np.ndarray:
+        """Per-cell occupancy probability, sigmoid of the log-odds."""
+        return 1.0 / (1.0 + np.exp(-self.log_odds))
+
+    def binary_map(self, threshold: float = 0.5) -> np.ndarray:
+        """Thresholded occupancy estimate (1 = occupied)."""
+        return (self.occupancy_probability() > threshold).astype(np.int8)
+
+    def known_fraction(self) -> float:
+        """Fraction of cells touched by any evidence."""
+        return float((self.log_odds != 0.0).mean())
+
+
+def map_from_trace(
+    world: RobotWorld,
+    profiler: Optional[KernelProfiler] = None,
+) -> OccupancyGridMapper:
+    """Map a world from its (true) poses and recorded scans."""
+    mapper = OccupancyGridMapper(
+        shape=world.grid.shape,
+        max_range=world.max_range,
+        n_beams=world.n_beams,
+    )
+    for pose, ranges in zip(world.true_poses, world.measurements):
+        mapper.integrate_scan(pose, ranges, profiler=profiler)
+    return mapper
+
+
+def map_quality(
+    mapper: OccupancyGridMapper,
+    truth: np.ndarray,
+) -> Tuple[float, float]:
+    """(occupied recall, free precision) over cells with evidence.
+
+    Occupied recall: of the true walls the mapper has observed, how many
+    it marks occupied.  Free precision: of the cells it marks free, how
+    many are truly free.
+    """
+    truth = np.asarray(truth)
+    observed = mapper.log_odds != 0.0
+    estimate = mapper.binary_map()
+    occ_mask = observed & (truth != 0)
+    free_est = observed & (estimate == 0)
+    recall = float((estimate[occ_mask] == 1).mean()) if occ_mask.any() \
+        else 1.0
+    precision = float((truth[free_est] == 0).mean()) if free_est.any() \
+        else 1.0
+    return recall, precision

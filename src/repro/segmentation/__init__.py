@@ -1,0 +1,39 @@
+"""Image Segmentation: normalized cuts on pixel-affinity graphs."""
+
+from .benchmark import BENCHMARK, KERNELS, MAX_NODES, N_SEGMENTS, RADIUS
+from .graph import GridAffinity, build_affinity, stencil_offsets
+from .recursive import (
+    RecursiveSegmentation,
+    fiedler_split,
+    ncut_value,
+    segment_recursive,
+)
+from .ncuts import (
+    SegmentationResult,
+    discretize,
+    label_purity,
+    normalized_embedding,
+    segment_image,
+    working_resolution,
+)
+
+__all__ = [
+    "BENCHMARK",
+    "KERNELS",
+    "MAX_NODES",
+    "N_SEGMENTS",
+    "RADIUS",
+    "GridAffinity",
+    "RecursiveSegmentation",
+    "SegmentationResult",
+    "build_affinity",
+    "discretize",
+    "fiedler_split",
+    "label_purity",
+    "ncut_value",
+    "normalized_embedding",
+    "segment_image",
+    "segment_recursive",
+    "stencil_offsets",
+    "working_resolution",
+]

@@ -1,0 +1,109 @@
+"""Benchmark wiring for the Image Segmentation (normalized cuts) application."""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..core.dataflow import Chain, Op, ParMap, Reduce, Seq
+from ..core.inputs import segmentation_image
+from ..core.profiler import KernelProfiler
+from ..core.registry import Benchmark
+from ..core.types import (
+    Characteristic,
+    ConcentrationArea,
+    InputSize,
+    KernelInfo,
+    ParallelismClass,
+    ParallelismEstimate,
+)
+from .graph import stencil_offsets
+from .ncuts import label_purity, segment_image, working_resolution
+
+N_SEGMENTS = 4
+RADIUS = 3
+MAX_NODES = 2400
+
+KERNELS = (
+    KernelInfo("Adjacencymatrix", "pixel-pair affinity construction",
+               ParallelismClass.ILP),
+    KernelInfo("Eigensolve", "Lanczos on the normalized Laplacian",
+               ParallelismClass.ILP),
+    KernelInfo("QRfactorizations", "discretization rotation fitting",
+               ParallelismClass.ILP),
+    KernelInfo("Filterbanks", "pre-smoothing and resolution reduction",
+               ParallelismClass.DLP),
+)
+
+
+def setup(size: InputSize, variant: int):
+    """Build the synthetic region image (untimed)."""
+    return segmentation_image(size, variant, n_regions=N_SEGMENTS)
+
+
+def run(workload, profiler: KernelProfiler) -> Mapping[str, object]:
+    """Segment a prepared region image and score against ground truth."""
+    image, truth = workload
+    result = segment_image(
+        image, n_segments=N_SEGMENTS, radius=RADIUS, max_nodes=MAX_NODES,
+        profiler=profiler,
+    )
+    return {
+        "purity": label_purity(result.labels, truth),
+        "n_segments": result.n_segments,
+    }
+
+
+def parallelism_models(size: InputSize) -> List[ParallelismEstimate]:
+    """Work/span models for the segmentation kernels.
+
+    The paper reports segmentation's parallelism as modest (its Table IV
+    omits the benchmark; section III calls the similarity matrix "a
+    classic candidate for ILP" with low DLP): the eigensolve's Lanczos
+    recurrence and the discretization's iteration are serial chains with
+    only intra-step parallelism.
+    """
+    work_shape = working_resolution(size.shape, MAX_NODES)
+    nodes = work_shape[0] * work_shape[1]
+    n_offsets = len(stencil_offsets(RADIUS))
+    adjacency = ParMap(nodes * n_offsets, Op(6))
+    # Lanczos: ~60 serial steps, each a matvec (parallel) + dot (tree).
+    lanczos_step = Seq(ParMap(n_offsets * 2, Op(2)), Reduce(nodes))
+    eigensolve = Chain(60, lanczos_step)
+    # Discretization: ~10 serial rounds of assign (parallel) + small SVD.
+    qr_round = Seq(ParMap(nodes, Op(2 * N_SEGMENTS)), Chain(N_SEGMENTS**2, Op(8)))
+    qr = Chain(10, qr_round)
+    filterbanks = ParMap(size.pixels, Op(14))
+    estimates = []
+    for name, model in (
+        ("Adjacencymatrix", adjacency),
+        ("Eigensolve", eigensolve),
+        ("QRfactorizations", qr),
+        ("Filterbanks", filterbanks),
+    ):
+        info = next(k for k in KERNELS if k.name == name)
+        estimates.append(
+            ParallelismEstimate(
+                benchmark="segmentation",
+                kernel=name,
+                parallelism=model.parallelism,
+                parallelism_class=info.parallelism_class,
+                work=model.work,
+                span=model.span,
+            )
+        )
+    return estimates
+
+
+BENCHMARK = Benchmark(
+    name="Image Segmentation",
+    slug="segmentation",
+    area=ConcentrationArea.IMAGE_ANALYSIS,
+    description="Dividing an image into conceptual regions",
+    characteristic=Characteristic.COMPUTE_INTENSIVE,
+    application_domain="Medical imaging, computational photography",
+    kernels=KERNELS,
+    setup=setup,
+    run=run,
+    parallelism=parallelism_models,
+    in_figure2=True,
+)

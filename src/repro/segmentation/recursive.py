@@ -1,0 +1,190 @@
+"""Recursive two-way normalized cuts — the original Shi-Malik strategy.
+
+The benchmark's main path partitions into k segments at once via the
+Yu-Shi discretization (:func:`repro.segmentation.ncuts.segment_image`).
+Shi & Malik's original algorithm instead recursively bipartitions: find
+the Fiedler vector of the normalized Laplacian, split at the threshold
+minimizing the Ncut objective, and recurse into the larger pieces.
+
+Provided as a baseline so the design choice can be measured (the
+ablation bench compares quality and cost of the two strategies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from ..imgproc.filters import gaussian_blur
+from ..imgproc.interpolate import resize
+from ..linalg.eigen import smallest_eigenvectors_operator
+from .graph import GridAffinity, build_affinity
+from .ncuts import working_resolution
+
+
+@dataclass(frozen=True)
+class RecursiveSegmentation:
+    """Labels plus the ncut value of every accepted split."""
+
+    labels: np.ndarray
+    grid_labels: np.ndarray
+    cut_values: List[float]
+
+
+def ncut_value(affinity: GridAffinity, mask: np.ndarray) -> float:
+    """Normalized-cut objective of a bipartition given a boolean mask.
+
+    ``Ncut(A, B) = cut(A,B)/assoc(A,V) + cut(A,B)/assoc(B,V)``.
+    """
+    mask = np.asarray(mask, dtype=bool).ravel()
+    if mask.size != affinity.n_nodes:
+        raise ValueError("mask size mismatch")
+    indicator = mask.astype(np.float64)
+    degrees = affinity.degrees()
+    w_indicator = affinity.matvec(indicator)
+    cut = float(((1.0 - indicator) * w_indicator).sum())
+    assoc_a = float((degrees * indicator).sum())
+    assoc_b = float((degrees * (1.0 - indicator)).sum())
+    if assoc_a <= 0.0 or assoc_b <= 0.0:
+        return float("inf")
+    return cut / assoc_a + cut / assoc_b
+
+
+def fiedler_split(
+    affinity: GridAffinity,
+    node_subset: np.ndarray,
+    seed: int = 0,
+    n_thresholds: int = 16,
+) -> Optional[np.ndarray]:
+    """Best-Ncut bipartition of ``node_subset`` via the Fiedler vector.
+
+    Builds the subgraph operator restricted to the subset, computes the
+    second-smallest Laplacian eigenvector, and scans candidate thresholds
+    for the split minimizing the subgraph's Ncut.  Returns the boolean
+    side assignment over the subset, or ``None`` when no proper split
+    exists.
+    """
+    subset = np.asarray(node_subset)
+    n_sub = subset.size
+    if n_sub < 4:
+        return None
+    # Restriction of W to the subset via masked matvec.
+    mask = np.zeros(affinity.n_nodes)
+    mask[subset] = 1.0
+
+    def sub_matvec(vec: np.ndarray) -> np.ndarray:
+        full = np.zeros(affinity.n_nodes)
+        full[subset] = vec
+        return affinity.matvec(full * mask)[subset]
+
+    degrees = sub_matvec(np.ones(n_sub))
+    degrees = np.maximum(degrees, 1e-12)
+    inv_sqrt_d = 1.0 / np.sqrt(degrees)
+
+    def laplacian(vec: np.ndarray) -> np.ndarray:
+        return vec - inv_sqrt_d * sub_matvec(inv_sqrt_d * vec)
+
+    _values, vectors = smallest_eigenvectors_operator(
+        laplacian, n_sub, 2, seed=seed, scale=2.0,
+        max_krylov=min(n_sub, 200),
+    )
+    fiedler = inv_sqrt_d * vectors[:, 1]
+    candidates = np.quantile(
+        fiedler, np.linspace(0.05, 0.95, n_thresholds)
+    )
+    best_mask: Optional[np.ndarray] = None
+    best_value = float("inf")
+    sub_affinity_mask = np.zeros(affinity.n_nodes, dtype=bool)
+    for threshold in candidates:
+        side = fiedler > threshold
+        if side.all() or not side.any():
+            continue
+        sub_affinity_mask[:] = False
+        sub_affinity_mask[subset[side]] = True
+        # Evaluate the cut within the subgraph only: treat nodes outside
+        # the subset as absent by restricting assoc to subset degrees.
+        value = _subgraph_ncut(affinity, subset, side)
+        if value < best_value:
+            best_value = value
+            best_mask = side.copy()
+    if best_mask is None:
+        return None
+    return best_mask
+
+
+def _subgraph_ncut(affinity: GridAffinity, subset: np.ndarray,
+                   side: np.ndarray) -> float:
+    full_a = np.zeros(affinity.n_nodes)
+    full_b = np.zeros(affinity.n_nodes)
+    full_a[subset[side]] = 1.0
+    full_b[subset[~side]] = 1.0
+    w_a = affinity.matvec(full_a)
+    cut = float((full_b * w_a).sum())
+    assoc_a = float((full_a * affinity.matvec(full_a + full_b)).sum())
+    assoc_b = float((full_b * affinity.matvec(full_a + full_b)).sum())
+    if assoc_a <= 0.0 or assoc_b <= 0.0:
+        return float("inf")
+    return cut / assoc_a + cut / assoc_b
+
+
+def segment_recursive(
+    image: np.ndarray,
+    n_segments: int = 4,
+    radius: int = 3,
+    sigma_intensity: float = 0.08,
+    sigma_spatial: float = 4.0,
+    max_nodes: int = 2400,
+    seed: int = 0,
+    profiler: Optional[KernelProfiler] = None,
+) -> RecursiveSegmentation:
+    """Segment by repeated two-way cuts until ``n_segments`` pieces exist.
+
+    The largest current segment is always split next (Shi-Malik recurse
+    into "the" partition with greatest within-variation, approximated by
+    size here).
+    """
+    profiler = ensure_profiler(profiler)
+    image = np.asarray(image, dtype=np.float64)
+    if n_segments < 2:
+        raise ValueError("n_segments must be >= 2")
+    with profiler.kernel("Filterbanks"):
+        smooth = gaussian_blur(image, 1.0)
+        work_shape = working_resolution(image.shape, max_nodes)
+        working = (
+            resize(smooth, *work_shape) if work_shape != image.shape
+            else smooth
+        )
+    with profiler.kernel("Adjacencymatrix"):
+        affinity = build_affinity(
+            working, radius=radius,
+            sigma_intensity=sigma_intensity, sigma_spatial=sigma_spatial,
+        )
+    labels = np.zeros(affinity.n_nodes, dtype=np.int64)
+    cut_values: List[float] = []
+    next_label = 1
+    with profiler.kernel("Eigensolve"):
+        while next_label < n_segments:
+            # Split the largest segment.
+            sizes = np.bincount(labels, minlength=next_label)
+            target = int(np.argmax(sizes))
+            subset = np.nonzero(labels == target)[0]
+            side = fiedler_split(affinity, subset, seed=seed)
+            if side is None:
+                break
+            labels[subset[side]] = next_label
+            cut_values.append(_subgraph_ncut(affinity, subset, side))
+            next_label += 1
+    grid_labels = labels.reshape(work_shape)
+    rows, cols = image.shape
+    rr = np.minimum(np.arange(rows) * work_shape[0] // rows,
+                    work_shape[0] - 1)
+    cc = np.minimum(np.arange(cols) * work_shape[1] // cols,
+                    work_shape[1] - 1)
+    return RecursiveSegmentation(
+        labels=grid_labels[np.ix_(rr, cc)],
+        grid_labels=grid_labels,
+        cut_values=cut_values,
+    )

@@ -1,0 +1,216 @@
+"""SIFT orientation assignment and 128-D descriptor computation.
+
+Orientation: a 36-bin histogram of gradient angles around the keypoint,
+Gaussian-weighted by distance; the dominant bin (parabola-refined) becomes
+the keypoint orientation, and secondary peaks above 80% spawn duplicate
+keypoints (as in Lowe's paper).
+
+Descriptor: gradients in a 16x16 window, rotated into the keypoint frame,
+binned into a 4x4 spatial grid of 8-bin orientation histograms, then
+normalized / clipped at 0.2 / renormalized.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from ..imgproc.gradient import gradient
+from .keypoints import Keypoint
+
+N_ORIENTATION_BINS = 36
+DESCRIPTOR_GRID = 4
+DESCRIPTOR_BINS = 8
+DESCRIPTOR_CLIP = 0.2
+
+
+@dataclass(frozen=True)
+class SiftFeature:
+    """A keypoint plus its 128-D descriptor."""
+
+    keypoint: Keypoint
+    descriptor: np.ndarray  # (128,), L2-normalized
+
+
+def orientation_histogram(
+    magnitude: np.ndarray,
+    angle: np.ndarray,
+    row: int,
+    col: int,
+    radius: int,
+    sigma: float,
+) -> np.ndarray:
+    """Gaussian-weighted 36-bin angle histogram around ``(row, col)``."""
+    rows, cols = magnitude.shape
+    hist = np.zeros(N_ORIENTATION_BINS)
+    r0, r1 = max(0, row - radius), min(rows, row + radius + 1)
+    c0, c1 = max(0, col - radius), min(cols, col + radius + 1)
+    yy, xx = np.mgrid[r0:r1, c0:c1]
+    weight = np.exp(
+        -((yy - row) ** 2 + (xx - col) ** 2) / (2.0 * sigma * sigma)
+    )
+    mags = magnitude[r0:r1, c0:c1] * weight
+    angles = angle[r0:r1, c0:c1]
+    bins = np.floor(
+        (angles + math.pi) / (2 * math.pi) * N_ORIENTATION_BINS
+    ).astype(int) % N_ORIENTATION_BINS
+    np.add.at(hist, bins.ravel(), mags.ravel())
+    # Circular smoothing (Lowe smooths the histogram before peak picking).
+    smoothed = hist.copy()
+    for _ in range(2):
+        smoothed = (
+            np.roll(smoothed, 1) + smoothed + np.roll(smoothed, -1)
+        ) / 3.0
+    return smoothed
+
+
+def dominant_orientations(hist: np.ndarray,
+                          peak_ratio: float = 0.8) -> List[float]:
+    """Angles (radians) of histogram peaks above ``peak_ratio * max``.
+
+    Peak positions are refined by fitting a parabola through the bin and
+    its neighbours.
+    """
+    n = hist.size
+    peak = float(hist.max())
+    if peak <= 0.0:
+        return []
+    angles = []
+    for i in range(n):
+        left, right = hist[(i - 1) % n], hist[(i + 1) % n]
+        if hist[i] >= peak_ratio * peak and hist[i] > left and hist[i] > right:
+            denom = left - 2.0 * hist[i] + right
+            shift = 0.0 if denom == 0 else 0.5 * (left - right) / denom
+            bin_center = (i + shift + 0.5) / n
+            angles.append(bin_center * 2.0 * math.pi - math.pi)
+    return angles
+
+
+def descriptor_at(
+    magnitude: np.ndarray,
+    angle: np.ndarray,
+    row: float,
+    col: float,
+    orientation: float,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Compute the 4x4x8 descriptor at a (level-local) position.
+
+    ``scale`` stretches the 16x16 sampling window with the keypoint size.
+    """
+    rows, cols = magnitude.shape
+    half = DESCRIPTOR_GRID * 2  # 8 samples per side half-window
+    span = max(1.0, scale)
+    cos_o, sin_o = math.cos(orientation), math.sin(orientation)
+    # Vectorized sampling grid: rotate all 16x16 offsets at once.
+    sy, sx = np.mgrid[-half:half, -half:half].astype(np.float64)
+    oy = (sy + 0.5) * span
+    ox = (sx + 0.5) * span
+    ry = np.rint(row + cos_o * oy - sin_o * ox).astype(np.int64)
+    rx = np.rint(col + sin_o * oy + cos_o * ox).astype(np.int64)
+    inside = (ry >= 0) & (ry < rows) & (rx >= 0) & (rx < cols)
+    ry_safe = np.clip(ry, 0, rows - 1)
+    rx_safe = np.clip(rx, 0, cols - 1)
+    weight = np.exp(-(sy * sy + sx * sx) / (2.0 * (half * 0.6) ** 2))
+    mags = magnitude[ry_safe, rx_safe] * weight * inside
+    theta = np.mod(angle[ry_safe, rx_safe] - orientation, 2.0 * math.pi)
+    cell_y = ((sy + half).astype(np.int64) * DESCRIPTOR_GRID) // (2 * half)
+    cell_x = ((sx + half).astype(np.int64) * DESCRIPTOR_GRID) // (2 * half)
+    bin_index = np.minimum(
+        (theta / (2.0 * math.pi) * DESCRIPTOR_BINS).astype(np.int64),
+        DESCRIPTOR_BINS - 1,
+    )
+    flat_index = (
+        cell_y * DESCRIPTOR_GRID + cell_x
+    ) * DESCRIPTOR_BINS + bin_index
+    hist = np.zeros(DESCRIPTOR_GRID * DESCRIPTOR_GRID * DESCRIPTOR_BINS)
+    np.add.at(hist, flat_index.ravel(), mags.ravel())
+    desc = hist
+    norm = float(np.linalg.norm(desc))
+    if norm > 0:
+        desc = desc / norm
+        desc = np.minimum(desc, DESCRIPTOR_CLIP)
+        norm = float(np.linalg.norm(desc))
+        if norm > 0:
+            desc = desc / norm
+    return desc
+
+
+def describe_keypoints(
+    image: np.ndarray,
+    keypoints: Sequence[Keypoint],
+    profiler: Optional[KernelProfiler] = None,
+) -> List[SiftFeature]:
+    """Assign orientations and descriptors to detected keypoints.
+
+    Gradients are computed once on the full-resolution image; keypoints
+    carrying multiple dominant orientations are duplicated per
+    orientation, exactly as Lowe specifies.
+    """
+    profiler = ensure_profiler(profiler)
+    with profiler.kernel("SIFT"):
+        gx, gy = gradient(np.asarray(image, dtype=np.float64))
+        magnitude = np.hypot(gx, gy)
+        angle = np.arctan2(gy, gx)
+        features: List[SiftFeature] = []
+        rows, cols = magnitude.shape
+        for kp in keypoints:
+            row, col = int(round(kp.row)), int(round(kp.col))
+            if not (0 <= row < rows and 0 <= col < cols):
+                continue
+            radius = max(3, int(round(3.0 * kp.sigma)))
+            hist = orientation_histogram(
+                magnitude, angle, row, col, radius, 1.5 * max(kp.sigma, 0.8)
+            )
+            for theta in dominant_orientations(hist) or [0.0]:
+                oriented = Keypoint(
+                    row=kp.row,
+                    col=kp.col,
+                    octave=kp.octave,
+                    scale_index=kp.scale_index,
+                    sigma=kp.sigma,
+                    response=kp.response,
+                    orientation=theta,
+                )
+                desc = descriptor_at(
+                    magnitude, angle, kp.row, kp.col, theta,
+                    scale=max(0.5, kp.sigma / 2.0),
+                )
+                features.append(SiftFeature(keypoint=oriented, descriptor=desc))
+    return features
+
+
+def match_descriptors(
+    first: Sequence[SiftFeature],
+    second: Sequence[SiftFeature],
+    ratio: float = 0.8,
+) -> List[Tuple[int, int]]:
+    """Lowe-ratio nearest-neighbour matching between two feature sets.
+
+    Returns index pairs ``(i, j)`` where the best match ``j`` for ``i`` is
+    sufficiently better than the runner-up.
+    """
+    if not first or not second:
+        return []
+    a = np.stack([f.descriptor for f in first])
+    b = np.stack([f.descriptor for f in second])
+    # Squared distances via the expansion |x-y|^2 = |x|^2 + |y|^2 - 2 x.y
+    d2 = (
+        (a * a).sum(axis=1)[:, None]
+        + (b * b).sum(axis=1)[None, :]
+        - 2.0 * (a @ b.T)
+    )
+    matches = []
+    for i in range(a.shape[0]):
+        order = np.argsort(d2[i])
+        best = order[0]
+        if d2.shape[1] >= 2:
+            second_best = order[1]
+            if d2[i, best] > ratio * ratio * d2[i, second_best]:
+                continue
+        matches.append((i, int(best)))
+    return matches

@@ -1,0 +1,189 @@
+"""SIFT keypoint detection: DoG scale-space extrema with refinement.
+
+Candidates are local extrema of the Difference-of-Gaussians pyramid over a
+3x3x3 neighbourhood (space x scale).  Each candidate is refined by fitting
+a quadratic to the DoG (one Newton step on the 3-D gradient/Hessian) and
+pruned by contrast and by the Harris-style edge-response ratio, following
+Lowe's criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from ..imgproc.pyramid import ScaleSpace, scale_space
+from ..linalg.matrix import SingularMatrixError, solve
+
+
+@dataclass(frozen=True)
+class Keypoint:
+    """A refined scale-space feature in input-image coordinates."""
+
+    row: float
+    col: float
+    octave: int
+    scale_index: int
+    sigma: float
+    response: float
+    orientation: float = 0.0
+
+
+def local_extrema_mask(below: np.ndarray, here: np.ndarray,
+                       above: np.ndarray, threshold: float) -> np.ndarray:
+    """Pixels of ``here`` that are 3x3x3 extrema above ``threshold``.
+
+    Border pixels are excluded.  Vectorized by comparing against the max/
+    min over all 26 neighbours computed with shifted views.
+    """
+    if not (below.shape == here.shape == above.shape):
+        raise ValueError("scale slices must share a shape")
+    rows, cols = here.shape
+    if rows < 3 or cols < 3:
+        return np.zeros_like(here, dtype=bool)
+    center = here[1:-1, 1:-1]
+    neighbour_max = np.full(center.shape, -np.inf)
+    neighbour_min = np.full(center.shape, np.inf)
+    for layer in (below, here, above):
+        for dy in (0, 1, 2):
+            for dx in (0, 1, 2):
+                view = layer[dy : rows - 2 + dy, dx : cols - 2 + dx]
+                if layer is here and dy == 1 and dx == 1:
+                    continue
+                neighbour_max = np.maximum(neighbour_max, view)
+                neighbour_min = np.minimum(neighbour_min, view)
+    is_max = (center > neighbour_max) & (center > threshold)
+    is_min = (center < neighbour_min) & (center < -threshold)
+    mask = np.zeros_like(here, dtype=bool)
+    mask[1:-1, 1:-1] = is_max | is_min
+    return mask
+
+
+def refine_candidate(dogs: Sequence[np.ndarray], scale: int, row: int,
+                     col: int) -> Optional[np.ndarray]:
+    """One Newton refinement step in (row, col, scale).
+
+    Returns the offset vector ``[dr, dc, ds]`` or ``None`` when the
+    Hessian is singular.  Offsets larger than 1.5 in any coordinate mark
+    unstable candidates (rejected by the caller).
+    """
+    d = dogs
+    grad = np.array(
+        [
+            (d[scale][row + 1, col] - d[scale][row - 1, col]) / 2.0,
+            (d[scale][row, col + 1] - d[scale][row, col - 1]) / 2.0,
+            (d[scale + 1][row, col] - d[scale - 1][row, col]) / 2.0,
+        ]
+    )
+    drr = d[scale][row + 1, col] - 2 * d[scale][row, col] + d[scale][row - 1, col]
+    dcc = d[scale][row, col + 1] - 2 * d[scale][row, col] + d[scale][row, col - 1]
+    dss = d[scale + 1][row, col] - 2 * d[scale][row, col] + d[scale - 1][row, col]
+    drc = (
+        d[scale][row + 1, col + 1]
+        - d[scale][row + 1, col - 1]
+        - d[scale][row - 1, col + 1]
+        + d[scale][row - 1, col - 1]
+    ) / 4.0
+    drs = (
+        d[scale + 1][row + 1, col]
+        - d[scale + 1][row - 1, col]
+        - d[scale - 1][row + 1, col]
+        + d[scale - 1][row - 1, col]
+    ) / 4.0
+    dcs = (
+        d[scale + 1][row, col + 1]
+        - d[scale + 1][row, col - 1]
+        - d[scale - 1][row, col + 1]
+        + d[scale - 1][row, col - 1]
+    ) / 4.0
+    hessian = np.array([[drr, drc, drs], [drc, dcc, dcs], [drs, dcs, dss]])
+    try:
+        return -solve(hessian, grad)
+    except SingularMatrixError:
+        return None
+
+
+def edge_response_ok(dog: np.ndarray, row: int, col: int,
+                     edge_ratio: float = 10.0) -> bool:
+    """Lowe's edge test: reject candidates on ridges (high curvature ratio)."""
+    drr = dog[row + 1, col] - 2 * dog[row, col] + dog[row - 1, col]
+    dcc = dog[row, col + 1] - 2 * dog[row, col] + dog[row, col - 1]
+    drc = (
+        dog[row + 1, col + 1]
+        - dog[row + 1, col - 1]
+        - dog[row - 1, col + 1]
+        + dog[row - 1, col - 1]
+    ) / 4.0
+    trace = drr + dcc
+    det = drr * dcc - drc * drc
+    if det <= 0.0:
+        return False
+    return trace * trace / det < (edge_ratio + 1.0) ** 2 / edge_ratio
+
+
+def detect_keypoints(
+    octaves: Sequence[ScaleSpace],
+    contrast_threshold: float = 0.015,
+    edge_ratio: float = 10.0,
+    upsampled: bool = True,
+    profiler: Optional[KernelProfiler] = None,
+) -> List[Keypoint]:
+    """Find refined, pruned keypoints across all octaves.
+
+    Coordinates are reported in the original (pre-upsampling) image frame
+    when ``upsampled`` is true, matching the pipeline in
+    :func:`repro.sift.sift.extract_features`.
+    """
+    profiler = ensure_profiler(profiler)
+    keypoints: List[Keypoint] = []
+    base = 0.5 if upsampled else 1.0
+    with profiler.kernel("SIFT"):
+        for space in octaves:
+            pixel_scale = base * (2.0**space.octave)
+            dogs = space.dogs
+            for s in range(1, len(dogs) - 1):
+                mask = local_extrema_mask(
+                    dogs[s - 1], dogs[s], dogs[s + 1], contrast_threshold
+                )
+                for row, col in zip(*np.nonzero(mask)):
+                    offset = refine_candidate(dogs, s, int(row), int(col))
+                    if offset is None or np.abs(offset).max() > 1.5:
+                        continue
+                    value = dogs[s][row, col] + 0.5 * float(
+                        offset
+                        @ np.array(
+                            [
+                                (dogs[s][row + 1, col] - dogs[s][row - 1, col]) / 2,
+                                (dogs[s][row, col + 1] - dogs[s][row, col - 1]) / 2,
+                                (dogs[s + 1][row, col] - dogs[s - 1][row, col]) / 2,
+                            ]
+                        )
+                    )
+                    if abs(value) < contrast_threshold:
+                        continue
+                    if not edge_response_ok(dogs[s], int(row), int(col),
+                                            edge_ratio):
+                        continue
+                    keypoints.append(
+                        Keypoint(
+                            row=(float(row) + float(offset[0])) * pixel_scale,
+                            col=(float(col) + float(offset[1])) * pixel_scale,
+                            octave=space.octave,
+                            scale_index=s,
+                            sigma=space.sigmas[s] * pixel_scale,
+                            response=float(value),
+                        )
+                    )
+    return keypoints
+
+
+def build_scale_space(image: np.ndarray, n_octaves: int = 3,
+                      scales_per_octave: int = 3,
+                      profiler: Optional[KernelProfiler] = None) -> List[ScaleSpace]:
+    """Profiled wrapper around the Gaussian/DoG pyramid construction."""
+    profiler = ensure_profiler(profiler)
+    with profiler.kernel("SIFT"):
+        return scale_space(image, n_octaves, scales_per_octave)

@@ -1,0 +1,58 @@
+"""Image Stitch: feature-based alignment, RANSAC registration, blending."""
+
+from .benchmark import BENCHMARK, KERNELS, N_FEATURES, RANSAC_ITERATIONS
+from .blend import Panorama, warp_and_blend
+from .corners import Corner, anms, detect_corners, harris_response, local_maxima
+from .matching import (
+    DescribedCorner,
+    describe_corners,
+    match_features,
+    match_points,
+)
+from .multi import MultiPanorama, compose, register_chain, stitch_strip, strip_views
+from .pipeline import StitchResult, registration_error, stitch_pair
+from .sift_registration import SiftStitchResult, sift_match_points, stitch_pair_sift
+from .ransac import (
+    AffineModel,
+    RansacResult,
+    apply_homography,
+    fit_affine,
+    fit_translation,
+    homography_dlt,
+    ransac_affine,
+)
+
+__all__ = [
+    "BENCHMARK",
+    "KERNELS",
+    "N_FEATURES",
+    "RANSAC_ITERATIONS",
+    "AffineModel",
+    "Corner",
+    "DescribedCorner",
+    "MultiPanorama",
+    "Panorama",
+    "RansacResult",
+    "SiftStitchResult",
+    "StitchResult",
+    "anms",
+    "compose",
+    "apply_homography",
+    "describe_corners",
+    "detect_corners",
+    "fit_affine",
+    "fit_translation",
+    "harris_response",
+    "homography_dlt",
+    "local_maxima",
+    "match_features",
+    "match_points",
+    "ransac_affine",
+    "register_chain",
+    "registration_error",
+    "sift_match_points",
+    "stitch_pair",
+    "stitch_pair_sift",
+    "stitch_strip",
+    "strip_views",
+]

@@ -1,0 +1,114 @@
+"""Benchmark wiring for the Image Stitch application."""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..core.dataflow import Chain, Op, ParMap, Reduce, Seq
+from ..core.inputs import overlapping_pair
+from ..core.profiler import KernelProfiler
+from ..core.registry import Benchmark
+from ..core.types import (
+    Characteristic,
+    ConcentrationArea,
+    InputSize,
+    KernelInfo,
+    ParallelismClass,
+    ParallelismEstimate,
+)
+from .pipeline import registration_error, stitch_pair
+
+N_FEATURES = 64
+RANSAC_ITERATIONS = 256
+
+KERNELS = (
+    KernelInfo("Convolution", "calibration filtering and gradients",
+               ParallelismClass.DLP),
+    KernelInfo("ANMS", "adaptive non-maximal corner suppression",
+               ParallelismClass.TLP),
+    KernelInfo("Match", "descriptor distance matrix and ratio test",
+               ParallelismClass.DLP),
+    KernelInfo("LSSolver", "RANSAC hypothesis fitting and refits",
+               ParallelismClass.TLP),
+    KernelInfo("SVD", "DLT homography null-space extraction",
+               ParallelismClass.TLP),
+    KernelInfo("Blend", "warping and feathered compositing",
+               ParallelismClass.DLP),
+)
+
+
+def setup(size: InputSize, variant: int):
+    """Build the synthetic overlapping pair (untimed)."""
+    return (overlapping_pair(size, variant), variant)
+
+
+def run(workload, profiler: KernelProfiler) -> Mapping[str, object]:
+    """Stitch a prepared overlapping pair and score registration."""
+    pair, variant = workload
+    result = stitch_pair(pair.first, pair.second, n_features=N_FEATURES,
+                         seed=variant, profiler=profiler)
+    return {
+        "registration_error": registration_error(result.model,
+                                                 pair.true_offset),
+        "n_matches": result.n_matches,
+        "n_inliers": result.ransac.n_inliers if result.ransac else 0,
+        "coverage": result.panorama.coverage,
+    }
+
+
+def parallelism_models(size: InputSize) -> List[ParallelismEstimate]:
+    """Work/span models for the stitch kernels.
+
+    Table IV's stitch rows: LS Solver 20,900x and SVD 12,300x (both TLP —
+    RANSAC hypotheses are mutually independent) above Convolution 4,500x
+    (DLP): the same ordering falls out of these loop shapes.
+    """
+    rows, cols = size.shape
+    pixels = rows * cols
+    convolution = ParMap(pixels, Op(7))
+    anms_model = ParMap(N_FEATURES * 4, Seq(ParMap(N_FEATURES * 4, Op(3)),
+                                            Reduce(N_FEATURES * 4)))
+    match = ParMap(N_FEATURES * N_FEATURES, Seq(ParMap(64, Op(2)), Reduce(64)))
+    # RANSAC: hypotheses independent; each fit is a small dense solve
+    # followed by a parallel scoring sweep.
+    hypothesis = Seq(Chain(24, Op(4)), ParMap(N_FEATURES, Op(8)), Reduce(N_FEATURES))
+    ls_solver = ParMap(RANSAC_ITERATIONS, hypothesis)
+    svd = ParMap(8 * 9, Seq(ParMap(2 * N_FEATURES, Op(4)), Reduce(2 * N_FEATURES)))
+    blend = ParMap(4 * pixels, Op(12))
+    estimates = []
+    for name, model in (
+        ("Convolution", convolution),
+        ("ANMS", anms_model),
+        ("Match", match),
+        ("LSSolver", ls_solver),
+        ("SVD", svd),
+        ("Blend", blend),
+    ):
+        info = next(k for k in KERNELS if k.name == name)
+        estimates.append(
+            ParallelismEstimate(
+                benchmark="stitch",
+                kernel=name,
+                parallelism=model.parallelism,
+                parallelism_class=info.parallelism_class,
+                work=model.work,
+                span=model.span,
+            )
+        )
+    return estimates
+
+
+BENCHMARK = Benchmark(
+    name="Image Stitch",
+    slug="stitch",
+    area=ConcentrationArea.IMAGE_PROCESSING_FORMATION,
+    description="Stitch overlapping images using feature based alignment "
+    "and matching",
+    characteristic=Characteristic.DATA_AND_COMPUTE,
+    application_domain="Computational photography",
+    kernels=KERNELS,
+    setup=setup,
+    run=run,
+    parallelism=parallelism_models,
+    in_figure2=True,
+)

@@ -1,0 +1,94 @@
+"""Warping and feathered blending — the stitch benchmark's final stage.
+
+Once registration has an affine model mapping coordinates of the first
+image into the second, the panorama canvas is sized to cover both images,
+each source is resampled into it (bilinear), and overlap is resolved by
+distance-feathered alpha blending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from ..imgproc.interpolate import bilinear
+from .ransac import AffineModel
+
+
+@dataclass(frozen=True)
+class Panorama:
+    """The blended canvas plus the placement of the first image in it."""
+
+    image: np.ndarray
+    offset: Tuple[int, int]  # first image's top-left on the canvas
+    coverage: float  # fraction of canvas covered by any source
+
+
+def _feather(shape: Tuple[int, int]) -> np.ndarray:
+    """Weight mask falling linearly from the image centre to 0 at edges."""
+    rows, cols = shape
+    r = np.minimum(np.arange(rows), np.arange(rows)[::-1]) + 1.0
+    c = np.minimum(np.arange(cols), np.arange(cols)[::-1]) + 1.0
+    return np.minimum(r[:, None] / r.max(), c[None, :] / c.max())
+
+
+def warp_and_blend(
+    first: np.ndarray,
+    second: np.ndarray,
+    model: AffineModel,
+    profiler: Optional[KernelProfiler] = None,
+) -> Panorama:
+    """Composite ``second`` onto ``first``'s frame under ``model``.
+
+    ``model`` maps first-image coordinates to second-image coordinates
+    (the registration direction produced by matching first -> second).
+    """
+    profiler = ensure_profiler(profiler)
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    with profiler.kernel("Blend"):
+        rows1, cols1 = first.shape
+        rows2, cols2 = second.shape
+        # Second image corners pulled into first-image coordinates.
+        inv_a = np.linalg.inv(model.matrix)
+        corners2 = np.array(
+            [[0, 0], [0, cols2 - 1], [rows2 - 1, 0], [rows2 - 1, cols2 - 1]],
+            dtype=np.float64,
+        )
+        corners2_in_1 = (corners2 - model.translation) @ inv_a.T
+        all_rows = np.concatenate([[0, rows1 - 1], corners2_in_1[:, 0]])
+        all_cols = np.concatenate([[0, cols1 - 1], corners2_in_1[:, 1]])
+        top = int(np.floor(all_rows.min()))
+        left = int(np.floor(all_cols.min()))
+        bottom = int(np.ceil(all_rows.max()))
+        right = int(np.ceil(all_cols.max()))
+        canvas_shape = (bottom - top + 1, right - left + 1)
+        canvas = np.zeros(canvas_shape)
+        weight = np.zeros(canvas_shape)
+        # Paste the first image directly.
+        feather1 = _feather(first.shape)
+        r0, c0 = -top, -left
+        canvas[r0 : r0 + rows1, c0 : c0 + cols1] += first * feather1
+        weight[r0 : r0 + rows1, c0 : c0 + cols1] += feather1
+        # Resample the second image over the whole canvas.
+        gr, gc = np.mgrid[top : bottom + 1, left : right + 1].astype(np.float64)
+        coords1 = np.stack([gr.ravel(), gc.ravel()], axis=1)
+        coords2 = model.apply(coords1)
+        rr2 = coords2[:, 0].reshape(canvas_shape)
+        cc2 = coords2[:, 1].reshape(canvas_shape)
+        inside = (
+            (rr2 >= 0) & (rr2 <= rows2 - 1) & (cc2 >= 0) & (cc2 <= cols2 - 1)
+        )
+        sampled = bilinear(second, rr2, cc2)
+        feather2_full = bilinear(_feather(second.shape), rr2, cc2)
+        sampled = np.where(inside, sampled, 0.0)
+        feather2_full = np.where(inside, feather2_full, 0.0)
+        canvas += sampled * feather2_full
+        weight += feather2_full
+        covered = weight > 0
+        canvas[covered] /= weight[covered]
+        coverage = float(covered.mean())
+    return Panorama(image=canvas, offset=(r0, c0), coverage=coverage)

@@ -1,0 +1,105 @@
+"""Patch descriptors and feature matching for image stitch.
+
+Descriptors are 8x8 intensity patches sampled on a stride-2 grid from the
+blurred image (MOPS-style), normalized to zero mean / unit variance so
+matching is exposure-invariant.  Matching uses the Lowe ratio test on
+squared Euclidean distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from ..imgproc.filters import gaussian_blur
+from ..imgproc.interpolate import bilinear
+from .corners import Corner
+
+PATCH_SIDE = 8
+PATCH_STRIDE = 2
+
+
+@dataclass(frozen=True)
+class DescribedCorner:
+    """A corner plus its normalized patch descriptor."""
+
+    corner: Corner
+    descriptor: np.ndarray  # (PATCH_SIDE * PATCH_SIDE,)
+
+
+def describe_corners(
+    image: np.ndarray,
+    corners: Sequence[Corner],
+    profiler: Optional[KernelProfiler] = None,
+) -> List[DescribedCorner]:
+    """Sample normalized patches around each corner."""
+    profiler = ensure_profiler(profiler)
+    image = np.asarray(image, dtype=np.float64)
+    with profiler.kernel("Convolution"):
+        smooth = gaussian_blur(image, 1.5)
+    described = []
+    half_extent = PATCH_SIDE * PATCH_STRIDE / 2.0
+    offsets = (
+        np.arange(PATCH_SIDE) * PATCH_STRIDE - half_extent + PATCH_STRIDE / 2.0
+    )
+    for corner in corners:
+        rr, cc = np.meshgrid(
+            corner.row + offsets, corner.col + offsets, indexing="ij"
+        )
+        patch = bilinear(smooth, rr, cc).ravel()
+        patch = patch - patch.mean()
+        std = patch.std()
+        if std > 1e-9:
+            patch = patch / std
+        described.append(DescribedCorner(corner=corner, descriptor=patch))
+    return described
+
+
+def match_features(
+    first: Sequence[DescribedCorner],
+    second: Sequence[DescribedCorner],
+    ratio: float = 0.8,
+    profiler: Optional[KernelProfiler] = None,
+) -> List[Tuple[int, int]]:
+    """Ratio-test matches: indices ``(i, j)`` into the two corner lists."""
+    profiler = ensure_profiler(profiler)
+    if not first or not second:
+        return []
+    with profiler.kernel("Match"):
+        a = np.stack([f.descriptor for f in first])
+        b = np.stack([f.descriptor for f in second])
+        d2 = (
+            (a * a).sum(axis=1)[:, None]
+            + (b * b).sum(axis=1)[None, :]
+            - 2.0 * (a @ b.T)
+        )
+        matches = []
+        for i in range(a.shape[0]):
+            order = np.argsort(d2[i])
+            best = int(order[0])
+            if d2.shape[1] >= 2:
+                runner = int(order[1])
+                if d2[i, best] > ratio * ratio * d2[i, runner]:
+                    continue
+            matches.append((i, best))
+    return matches
+
+
+def match_points(
+    first: Sequence[DescribedCorner],
+    second: Sequence[DescribedCorner],
+    matches: Sequence[Tuple[int, int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Matched coordinates as ``(n, 2)`` arrays of (row, col)."""
+    src = np.array(
+        [[first[i].corner.row, first[i].corner.col] for i, _ in matches],
+        dtype=np.float64,
+    ).reshape(-1, 2)
+    dst = np.array(
+        [[second[j].corner.row, second[j].corner.col] for _, j in matches],
+        dtype=np.float64,
+    ).reshape(-1, 2)
+    return src, dst

@@ -1,0 +1,157 @@
+"""Multi-image panoramas: chain pairwise registrations across a strip.
+
+The benchmark stitches one pair; real mosaicing (the paper's motivating
+"segmented panorama") composites N overlapping views.  Adjacent pairs are
+registered with the same pipeline, transforms are composed into the first
+image's frame, and all views are blended onto one canvas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from ..imgproc.interpolate import bilinear
+from .blend import _feather
+from .corners import detect_corners
+from .matching import describe_corners, match_features, match_points
+from .ransac import AffineModel, ransac_affine
+
+
+def compose(outer: AffineModel, inner: AffineModel) -> AffineModel:
+    """The affine map applying ``inner`` first, then ``outer``.
+
+    ``compose(g, f).apply(p) == g.apply(f.apply(p))``.
+    """
+    return AffineModel(
+        matrix=outer.matrix @ inner.matrix,
+        translation=outer.matrix @ inner.translation + outer.translation,
+    )
+
+
+@dataclass(frozen=True)
+class MultiPanorama:
+    """The blended strip plus per-image placement transforms."""
+
+    image: np.ndarray
+    # transforms[i] maps frame-0 coordinates into image-i coordinates.
+    transforms: List[AffineModel]
+    offset: Tuple[int, int]  # frame 0's top-left on the canvas
+    coverage: float
+
+
+def register_chain(
+    images: Sequence[np.ndarray],
+    n_features: int = 64,
+    seed: int = 0,
+    profiler: Optional[KernelProfiler] = None,
+) -> List[AffineModel]:
+    """Pairwise-register consecutive images and compose into frame 0.
+
+    Returns one transform per image mapping frame-0 coordinates to that
+    image's coordinates (identity for image 0).
+    """
+    profiler = ensure_profiler(profiler)
+    if len(images) < 2:
+        raise ValueError("need at least two images")
+    transforms = [AffineModel.identity()]
+    for prev_img, next_img in zip(images[:-1], images[1:]):
+        corners_prev = detect_corners(prev_img, n_keep=n_features,
+                                      profiler=profiler)
+        corners_next = detect_corners(next_img, n_keep=n_features,
+                                      profiler=profiler)
+        described_prev = describe_corners(prev_img, corners_prev,
+                                          profiler=profiler)
+        described_next = describe_corners(next_img, corners_next,
+                                          profiler=profiler)
+        matches = match_features(described_prev, described_next,
+                                 profiler=profiler)
+        src, dst = match_points(described_prev, described_next, matches)
+        if src.shape[0] < 3:
+            raise ValueError("too few matches between consecutive images")
+        pair_model = ransac_affine(src, dst, seed=seed,
+                                   profiler=profiler).model
+        transforms.append(compose(pair_model, transforms[-1]))
+    return transforms
+
+
+def stitch_strip(
+    images: Sequence[np.ndarray],
+    n_features: int = 64,
+    seed: int = 0,
+    profiler: Optional[KernelProfiler] = None,
+) -> MultiPanorama:
+    """Blend a strip of overlapping images into one panorama."""
+    profiler = ensure_profiler(profiler)
+    transforms = register_chain(images, n_features=n_features, seed=seed,
+                                profiler=profiler)
+    with profiler.kernel("Blend"):
+        # Canvas bounds: every image's corners pulled into frame 0.
+        all_rows: List[float] = []
+        all_cols: List[float] = []
+        inverses = []
+        for image, model in zip(images, transforms):
+            rows, cols = image.shape
+            inv_a = np.linalg.inv(model.matrix)
+            inverses.append(inv_a)
+            corners = np.array(
+                [[0, 0], [0, cols - 1], [rows - 1, 0],
+                 [rows - 1, cols - 1]], dtype=np.float64,
+            )
+            in_frame0 = (corners - model.translation) @ inv_a.T
+            all_rows.extend(in_frame0[:, 0])
+            all_cols.extend(in_frame0[:, 1])
+        top = int(np.floor(min(all_rows)))
+        left = int(np.floor(min(all_cols)))
+        bottom = int(np.ceil(max(all_rows)))
+        right = int(np.ceil(max(all_cols)))
+        canvas_shape = (bottom - top + 1, right - left + 1)
+        canvas = np.zeros(canvas_shape)
+        weight = np.zeros(canvas_shape)
+        gr, gc = np.mgrid[top : bottom + 1, left : right + 1].astype(
+            np.float64
+        )
+        frame0 = np.stack([gr.ravel(), gc.ravel()], axis=1)
+        for image, model in zip(images, transforms):
+            rows, cols = image.shape
+            coords = model.apply(frame0)
+            rr = coords[:, 0].reshape(canvas_shape)
+            cc = coords[:, 1].reshape(canvas_shape)
+            inside = (rr >= 0) & (rr <= rows - 1) & (cc >= 0) & \
+                (cc <= cols - 1)
+            sampled = np.where(inside, bilinear(image, rr, cc), 0.0)
+            feather = np.where(inside, bilinear(_feather(image.shape), rr, cc),
+                               0.0)
+            canvas += sampled * feather
+            weight += feather
+        covered = weight > 0
+        canvas[covered] /= weight[covered]
+    return MultiPanorama(
+        image=canvas,
+        transforms=transforms,
+        offset=(-top, -left),
+        coverage=float(covered.mean()),
+    )
+
+
+def strip_views(
+    canvas: np.ndarray, n_views: int, view_shape: Tuple[int, int],
+    step: Tuple[int, int],
+) -> List[np.ndarray]:
+    """Cut ``n_views`` overlapping windows out of a wide canvas.
+
+    Test/demo helper: views advance by ``step`` per frame, so consecutive
+    views overlap by ``view - step``.
+    """
+    rows, cols = view_shape
+    dy, dx = step
+    views = []
+    for index in range(n_views):
+        r0, c0 = index * dy, index * dx
+        if r0 + rows > canvas.shape[0] or c0 + cols > canvas.shape[1]:
+            raise ValueError("canvas too small for the requested strip")
+        views.append(canvas[r0 : r0 + rows, c0 : c0 + cols].copy())
+    return views

@@ -1,0 +1,93 @@
+"""End-to-end image stitching pipeline.
+
+calibrate (Convolution) -> extract (ANMS) -> match (Match) -> register
+(LSSolver RANSAC + SVD homography check) -> blend (Blend), as the paper's
+four broad categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from .blend import Panorama, warp_and_blend
+from .corners import Corner, detect_corners
+from .matching import describe_corners, match_features, match_points
+from .ransac import AffineModel, RansacResult, homography_dlt, ransac_affine
+
+
+@dataclass(frozen=True)
+class StitchResult:
+    """Registration and compositing outputs for one image pair."""
+
+    model: AffineModel
+    homography: Optional[np.ndarray]
+    ransac: Optional[RansacResult]
+    panorama: Panorama
+    n_corners: Tuple[int, int]
+    n_matches: int
+
+
+def stitch_pair(
+    first: np.ndarray,
+    second: np.ndarray,
+    n_features: int = 64,
+    seed: int = 0,
+    profiler: Optional[KernelProfiler] = None,
+) -> StitchResult:
+    """Stitch two overlapping images into a panorama.
+
+    Returns the estimated first->second affine model, the DLT homography
+    refined on RANSAC inliers (``None`` when there are too few), and the
+    blended canvas.
+    """
+    profiler = ensure_profiler(profiler)
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    corners1 = detect_corners(first, n_keep=n_features, profiler=profiler)
+    corners2 = detect_corners(second, n_keep=n_features, profiler=profiler)
+    described1 = describe_corners(first, corners1, profiler=profiler)
+    described2 = describe_corners(second, corners2, profiler=profiler)
+    matches = match_features(described1, described2, profiler=profiler)
+    src, dst = match_points(described1, described2, matches)
+    ransac_result: Optional[RansacResult] = None
+    homography: Optional[np.ndarray] = None
+    if src.shape[0] >= 3:
+        ransac_result = ransac_affine(src, dst, seed=seed, profiler=profiler)
+        model = ransac_result.model
+        if ransac_result.n_inliers >= 4:
+            homography = homography_dlt(
+                src[ransac_result.inliers], dst[ransac_result.inliers],
+                profiler=profiler,
+            )
+    elif src.shape[0] >= 1:
+        from .ransac import fit_translation
+
+        model = fit_translation(src, dst)
+    else:
+        model = AffineModel.identity()
+    panorama = warp_and_blend(first, second, model, profiler=profiler)
+    return StitchResult(
+        model=model,
+        homography=homography,
+        ransac=ransac_result,
+        panorama=panorama,
+        n_corners=(len(corners1), len(corners2)),
+        n_matches=len(matches),
+    )
+
+
+def registration_error(model: AffineModel,
+                       true_offset: Tuple[int, int]) -> float:
+    """Distance between the estimated and true translation components.
+
+    For a pure-translation ground truth (our synthetic pairs), the model
+    should be near-identity with translation ``-true_offset`` in the
+    first->second direction... i.e. second-image coordinates of a first-
+    image point are ``p - offset``.
+    """
+    expected = -np.asarray(true_offset, dtype=np.float64)
+    return float(np.linalg.norm(model.translation - expected))

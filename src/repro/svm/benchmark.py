@@ -1,0 +1,112 @@
+"""Benchmark wiring for the SVM application."""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..core.dataflow import Chain, Op, ParMap, Reduce, Seq
+from ..core.inputs import svm_dataset
+from ..core.profiler import KernelProfiler
+from ..core.registry import Benchmark
+from ..core.types import (
+    Characteristic,
+    ConcentrationArea,
+    InputSize,
+    KernelInfo,
+    ParallelismClass,
+    ParallelismEstimate,
+)
+from .kernels import polynomial_kernel
+from .svm import SupportVectorMachine
+
+DIM = 16
+DEGREE = 3
+
+KERNELS = (
+    KernelInfo("MatrixOps", "Gram matrix and decision-function products",
+               ParallelismClass.DLP),
+    KernelInfo("Learning", "interior-point training iterations",
+               ParallelismClass.ILP),
+    KernelInfo("ConjugateMatrix", "CG solves of the KKT Newton system",
+               ParallelismClass.TLP),
+)
+
+
+def setup(size: InputSize, variant: int):
+    """Build the synthetic two-class data set (untimed)."""
+    return svm_dataset(size, variant, dim=DIM)
+
+
+def run(data, profiler: KernelProfiler) -> Mapping[str, object]:
+    """Train on a prepared data set and classify the held-out split."""
+    machine = SupportVectorMachine(
+        kernel=polynomial_kernel(degree=DEGREE, gamma=1.0 / DIM), c=1.0
+    )
+    machine.fit(data.train_x, data.train_y, profiler=profiler)
+    return {
+        "train_accuracy": machine.accuracy(data.train_x, data.train_y,
+                                           profiler=profiler),
+        "test_accuracy": machine.accuracy(data.test_x, data.test_y,
+                                          profiler=profiler),
+        "support_vectors": int(machine.support_alphas.size),
+        "ipm_iterations": machine.last_result.trace.iterations
+        if machine.last_result else 0,
+    }
+
+
+def parallelism_models(size: InputSize) -> List[ParallelismEstimate]:
+    """Work/span models for the SVM kernels.
+
+    Table IV order for SVM: Matrix Ops (1000x, DLP) > Learning (851x, ILP)
+    > Conjugate Matrix (502x, TLP).  Gram entries are fully independent;
+    the learning loop serializes across interior-point iterations but each
+    iteration's vector work is wide; CG serializes across its own
+    iterations with parallel matvecs inside.
+    """
+    n = 40 * size.relative + 40
+    gram = ParMap(n * n, Seq(ParMap(DIM, Op(2)), Reduce(DIM), Op(DEGREE)))
+    ipm_iters = 20
+    # Learning: each interior-point iteration refreshes residuals and
+    # multipliers across the full n x n KKT structure; entries are
+    # independent within an iteration, iterations chain serially.
+    learning = Chain(
+        ipm_iters,
+        Seq(ParMap(n * n, Op(3)), Reduce(n)),
+    )
+    cg_iters = 30
+    conjugate = Chain(
+        ipm_iters,
+        Chain(cg_iters, Seq(ParMap(n, ParMap(n, Op(2))), Reduce(n))),
+    )
+    estimates = []
+    for name, model in (
+        ("MatrixOps", gram),
+        ("Learning", learning),
+        ("ConjugateMatrix", conjugate),
+    ):
+        info = next(k for k in KERNELS if k.name == name)
+        estimates.append(
+            ParallelismEstimate(
+                benchmark="svm",
+                kernel=name,
+                parallelism=model.parallelism,
+                parallelism_class=info.parallelism_class,
+                work=model.work,
+                span=model.span,
+            )
+        )
+    return estimates
+
+
+BENCHMARK = Benchmark(
+    name="SVM",
+    slug="svm",
+    area=ConcentrationArea.IMAGE_UNDERSTANDING,
+    description="Supervised learning method for classification",
+    characteristic=Characteristic.COMPUTE_INTENSIVE,
+    application_domain="Machine learning",
+    kernels=KERNELS,
+    setup=setup,
+    run=run,
+    parallelism=parallelism_models,
+)

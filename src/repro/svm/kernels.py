@@ -1,0 +1,62 @@
+"""SVM kernel functions and Gram-matrix construction ("Matrix Ops").
+
+The SD-VBS SVM uses polynomial kernels; linear and RBF variants are
+provided for the examples and tests.  Gram construction is the
+benchmark's dominant matrix workload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+KernelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def linear_kernel() -> KernelFn:
+    """k(x, z) = <x, z>."""
+
+    def apply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.asarray(a) @ np.asarray(b).T
+
+    return apply
+
+
+def polynomial_kernel(degree: int = 3, coef0: float = 1.0,
+                      gamma: float = 1.0) -> KernelFn:
+    """k(x, z) = (gamma <x, z> + coef0)^degree — the suite's kernel."""
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+
+    def apply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (gamma * (np.asarray(a) @ np.asarray(b).T) + coef0) ** degree
+
+    return apply
+
+
+def rbf_kernel(gamma: float = 0.5) -> KernelFn:
+    """k(x, z) = exp(-gamma |x - z|^2)."""
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+
+    def apply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        sq = (
+            (a * a).sum(axis=1)[:, None]
+            + (b * b).sum(axis=1)[None, :]
+            - 2.0 * (a @ b.T)
+        )
+        return np.exp(-gamma * np.maximum(sq, 0.0))
+
+    return apply
+
+
+def gram_matrix(kernel: KernelFn, points: np.ndarray) -> np.ndarray:
+    """Symmetric Gram matrix K[i, j] = k(x_i, x_j)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"expected (n, d) points, got shape {points.shape}")
+    gram = kernel(points, points)
+    return 0.5 * (gram + gram.T)  # symmetrize against round-off

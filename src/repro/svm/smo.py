@@ -1,0 +1,129 @@
+"""Sequential Minimal Optimization — the baseline SVM trainer.
+
+SD-VBS trains its SVM with an interior-point method; SMO (Platt, 1998)
+is the classic alternative that solves the same dual QP two variables at
+a time in closed form.  Provided as a comparison baseline: the ablation
+bench measures both solvers on identical problems (IPM converges in few
+heavy iterations; SMO in many cheap ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+
+
+@dataclass
+class SmoResult:
+    """Solution of the dual QP via SMO."""
+
+    alpha: np.ndarray
+    bias: float
+    iterations: int
+    converged: bool
+    objective_trace: List[float]
+
+
+def solve_svm_dual_smo(
+    gram: np.ndarray,
+    labels: np.ndarray,
+    c: float = 1.0,
+    tol: float = 1e-4,
+    max_passes: int = 20,
+    max_iterations: int = 20_000,
+    seed: int = 0,
+    profiler: Optional[KernelProfiler] = None,
+) -> SmoResult:
+    """Solve the soft-margin dual by simplified SMO.
+
+    ``gram`` is the *plain* kernel Gram matrix (not label-signed);
+    ``labels`` in {-1, +1}.  Iterates pairs violating the KKT conditions
+    until a full sweep finds none (repeated ``max_passes`` times).
+    """
+    profiler = ensure_profiler(profiler)
+    gram = np.asarray(gram, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.float64)
+    n = y.size
+    if gram.shape != (n, n):
+        raise ValueError("gram/labels shape mismatch")
+    if c <= 0:
+        raise ValueError("C must be positive")
+    if not np.all(np.isin(y, (-1.0, 1.0))):
+        raise ValueError("labels must be -1/+1")
+    rng = np.random.default_rng(seed)
+    alpha = np.zeros(n)
+    bias = 0.0
+    passes = 0
+    iterations = 0
+    objective_trace: List[float] = []
+
+    def decision(index: int) -> float:
+        return float((alpha * y) @ gram[index]) + bias
+
+    def objective() -> float:
+        signed = alpha * y
+        return float(0.5 * signed @ gram @ signed - alpha.sum())
+
+    with profiler.kernel("Learning"):
+        while passes < max_passes and iterations < max_iterations:
+            changed = 0
+            for i in range(n):
+                error_i = decision(i) - y[i]
+                if not (
+                    (y[i] * error_i < -tol and alpha[i] < c)
+                    or (y[i] * error_i > tol and alpha[i] > 0)
+                ):
+                    continue
+                j = int(rng.integers(0, n - 1))
+                if j >= i:
+                    j += 1
+                error_j = decision(j) - y[j]
+                alpha_i_old, alpha_j_old = alpha[i], alpha[j]
+                if y[i] != y[j]:
+                    low = max(0.0, alpha[j] - alpha[i])
+                    high = min(c, c + alpha[j] - alpha[i])
+                else:
+                    low = max(0.0, alpha[i] + alpha[j] - c)
+                    high = min(c, alpha[i] + alpha[j])
+                if high - low < 1e-12:
+                    continue
+                eta = 2.0 * gram[i, j] - gram[i, i] - gram[j, j]
+                if eta >= 0:
+                    continue
+                alpha[j] -= y[j] * (error_i - error_j) / eta
+                alpha[j] = min(high, max(low, alpha[j]))
+                if abs(alpha[j] - alpha_j_old) < 1e-7:
+                    alpha[j] = alpha_j_old
+                    continue
+                alpha[i] += y[i] * y[j] * (alpha_j_old - alpha[j])
+                b1 = (
+                    bias - error_i
+                    - y[i] * (alpha[i] - alpha_i_old) * gram[i, i]
+                    - y[j] * (alpha[j] - alpha_j_old) * gram[i, j]
+                )
+                b2 = (
+                    bias - error_j
+                    - y[i] * (alpha[i] - alpha_i_old) * gram[i, j]
+                    - y[j] * (alpha[j] - alpha_j_old) * gram[j, j]
+                )
+                if 0 < alpha[i] < c:
+                    bias = b1
+                elif 0 < alpha[j] < c:
+                    bias = b2
+                else:
+                    bias = 0.5 * (b1 + b2)
+                changed += 1
+                iterations += 1
+            objective_trace.append(objective())
+            passes = passes + 1 if changed == 0 else 0
+    return SmoResult(
+        alpha=alpha,
+        bias=bias,
+        iterations=iterations,
+        converged=passes >= max_passes,
+        objective_trace=objective_trace,
+    )

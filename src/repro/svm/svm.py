@@ -1,0 +1,117 @@
+"""Support vector machine: training ("Learning") and classification.
+
+Combines the Gram-matrix construction ("Matrix Ops" kernel), the
+interior-point dual solve ("Conjugate Matrix" kernel inside
+:mod:`repro.svm.ipm`), and support-vector extraction + bias fitting
+(the "Learning" kernel) into the benchmark's two phases: train and
+classify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from .ipm import IpmResult, solve_svm_dual
+from .kernels import KernelFn, gram_matrix, polynomial_kernel
+
+
+@dataclass
+class SupportVectorMachine:
+    """Two-class kernel SVM trained by an interior-point method.
+
+    Labels are -1/+1.  After :meth:`fit`, ``support_vectors`` holds the
+    training points with non-negligible dual weight and :meth:`decision`
+    evaluates ``sum_i a_i y_i k(x_i, x) + b``.
+    """
+
+    kernel: KernelFn = field(default_factory=polynomial_kernel)
+    c: float = 1.0
+    support_threshold: float = 1e-5
+    max_iterations: int = 150
+
+    def __post_init__(self) -> None:
+        self._fitted = False
+        self.support_vectors: np.ndarray = np.empty((0, 0))
+        self.support_alphas: np.ndarray = np.empty(0)
+        self.support_labels: np.ndarray = np.empty(0)
+        self.bias: float = 0.0
+        self.last_result: Optional[IpmResult] = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, points: np.ndarray, labels: np.ndarray,
+            profiler: Optional[KernelProfiler] = None) -> "SupportVectorMachine":
+        """Train on ``(n, d)`` points with -1/+1 ``labels``."""
+        profiler = ensure_profiler(profiler)
+        points = np.asarray(points, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if points.ndim != 2 or labels.ndim != 1:
+            raise ValueError("expected (n, d) points and (n,) labels")
+        if points.shape[0] != labels.size:
+            raise ValueError("points/labels length mismatch")
+        if points.shape[0] < 2:
+            raise ValueError("need at least two training points")
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise ValueError("labels must be -1/+1")
+        if len(np.unique(labels)) < 2:
+            raise ValueError("need both classes present")
+        with profiler.kernel("MatrixOps"):
+            gram = gram_matrix(self.kernel, points)
+            signed = gram * np.outer(labels, labels)
+        with profiler.kernel("Learning"):
+            result = solve_svm_dual(
+                signed, labels, c=self.c,
+                max_iterations=self.max_iterations, profiler=profiler,
+            )
+            alpha = result.alpha
+            mask = alpha > self.support_threshold * self.c
+            self.support_vectors = points[mask]
+            self.support_alphas = alpha[mask]
+            self.support_labels = labels[mask]
+            self.last_result = result
+            self._fit_bias(gram, alpha, labels)
+        self._fitted = True
+        return self
+
+    def _fit_bias(self, gram: np.ndarray, alpha: np.ndarray,
+                  labels: np.ndarray) -> None:
+        """Average KKT-implied bias over on-margin support vectors."""
+        margin = (alpha > self.support_threshold * self.c) & (
+            alpha < (1.0 - self.support_threshold) * self.c
+        )
+        if not margin.any():
+            margin = alpha > self.support_threshold * self.c
+        if not margin.any():
+            self.bias = 0.0
+            return
+        raw = gram @ (alpha * labels)
+        self.bias = float(np.mean(labels[margin] - raw[margin]))
+
+    # ------------------------------------------------------------------
+
+    def decision(self, points: np.ndarray,
+                 profiler: Optional[KernelProfiler] = None) -> np.ndarray:
+        """Signed decision values for ``(m, d)`` query points."""
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before decision()")
+        profiler = ensure_profiler(profiler)
+        points = np.asarray(points, dtype=np.float64)
+        with profiler.kernel("MatrixOps"):
+            cross = self.kernel(points, self.support_vectors)
+            return cross @ (self.support_alphas * self.support_labels) + self.bias
+
+    def predict(self, points: np.ndarray,
+                profiler: Optional[KernelProfiler] = None) -> np.ndarray:
+        """-1/+1 class predictions."""
+        values = self.decision(points, profiler)
+        return np.where(values >= 0.0, 1.0, -1.0)
+
+    def accuracy(self, points: np.ndarray, labels: np.ndarray,
+                 profiler: Optional[KernelProfiler] = None) -> float:
+        """Fraction of points classified correctly."""
+        predictions = self.predict(points, profiler)
+        return float(np.mean(predictions == np.asarray(labels, dtype=np.float64)))

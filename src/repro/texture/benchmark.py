@@ -1,0 +1,124 @@
+"""Benchmark wiring for the Texture Synthesis application."""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..core.dataflow import Chain, Op, ParMap, Reduce, Seq
+from ..core.inputs import texture_sample
+from ..core.profiler import KernelProfiler
+from ..core.registry import Benchmark
+from ..core.types import (
+    Characteristic,
+    ConcentrationArea,
+    InputSize,
+    KernelInfo,
+    ParallelismClass,
+    ParallelismEstimate,
+)
+from .synthesis import synthesize_from_exemplar
+
+N_LEVELS = 3
+N_ORIENTATIONS = 4
+ITERATIONS = 6
+
+KERNELS = (
+    KernelInfo("Sampling", "pyramid analysis/synthesis and histogram "
+               "matching", ParallelismClass.TLP),
+    KernelInfo("MatrixOps", "spectral imposition and band correlations",
+               ParallelismClass.DLP),
+    KernelInfo("Kurtosis", "higher-order moment measurement/adjustment",
+               ParallelismClass.DLP),
+    KernelInfo("PCA", "cross-band correlation eigenstructure",
+               ParallelismClass.ILP),
+)
+
+
+def setup(size: InputSize, variant: int):
+    """Build the exemplar texture (untimed).
+
+    The exemplar alternates class by variant parity, mirroring the
+    paper's stochastic/structural test-image split.
+    """
+    kind = "stochastic" if variant % 2 == 0 else "structural"
+    return (texture_sample(size, variant, kind=kind), kind, variant)
+
+
+def run(workload, profiler: KernelProfiler) -> Mapping[str, object]:
+    """Analyze a prepared exemplar and synthesize a matching texture.
+
+    As in the paper, the iteration count is fixed, so runtime barely
+    moves across texture classes.
+    """
+    exemplar, kind, variant = workload
+    result = synthesize_from_exemplar(
+        exemplar,
+        out_shape=exemplar.shape,
+        n_levels=N_LEVELS,
+        n_orientations=N_ORIENTATIONS,
+        iterations=ITERATIONS,
+        seed=variant,
+        profiler=profiler,
+    )
+    return {
+        "kind": kind,
+        "final_residual": result.final_residual,
+        "initial_residual": result.residuals[0],
+    }
+
+
+def parallelism_models(size: InputSize) -> List[ParallelismEstimate]:
+    """Work/span models for the texture kernels.
+
+    Texture synthesis is not in Table IV; section III calls it "an
+    interesting example of TLP, where each thread exploits ILP".  The
+    iteration loop is inherently serial (each projection feeds the next),
+    bounding overall parallelism to what one iteration exposes.
+    """
+    side = max(32, min(size.height, size.width) // 2)
+    pixels = side * side
+    per_iter_sampling = Seq(
+        ParMap(N_LEVELS * N_ORIENTATIONS, ParMap(pixels, Op(25))),
+        ParMap(pixels, Op(6)),
+    )
+    sampling = Chain(ITERATIONS, per_iter_sampling)
+    matrix_ops = Chain(
+        ITERATIONS,
+        Seq(ParMap(pixels, Op(10)), ParMap(N_ORIENTATIONS**2, Reduce(pixels))),
+    )
+    kurtosis = Chain(ITERATIONS, Seq(ParMap(pixels, Op(6)), Reduce(pixels)))
+    pca = Chain(ITERATIONS * N_LEVELS, Chain(N_ORIENTATIONS**2, Op(12)))
+    estimates = []
+    for name, model in (
+        ("Sampling", sampling),
+        ("MatrixOps", matrix_ops),
+        ("Kurtosis", kurtosis),
+        ("PCA", pca),
+    ):
+        info = next(k for k in KERNELS if k.name == name)
+        estimates.append(
+            ParallelismEstimate(
+                benchmark="texture",
+                kernel=name,
+                parallelism=model.parallelism,
+                parallelism_class=info.parallelism_class,
+                work=model.work,
+                span=model.span,
+            )
+        )
+    return estimates
+
+
+BENCHMARK = Benchmark(
+    name="Texture Synthesis",
+    slug="texture",
+    area=ConcentrationArea.IMAGE_PROCESSING_FORMATION,
+    description="Construct a large digital image from a smaller portion by "
+    "utilizing features of its structural content",
+    characteristic=Characteristic.COMPUTE_INTENSIVE,
+    application_domain="Computational photography and movie making",
+    kernels=KERNELS,
+    setup=setup,
+    run=run,
+    parallelism=parallelism_models,
+)

@@ -1,0 +1,147 @@
+"""Feature extraction — "good features to track" (Shi-Tomasi).
+
+The tracking benchmark's extraction phase smooths the frame, computes
+gradients, aggregates the structure tensor over a window (via integral
+images / area sums), scores each pixel by the tensor's smaller eigenvalue,
+and keeps the strongest scores under non-maximum suppression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from ..imgproc.filters import binomial_blur
+from ..imgproc.gradient import gradient
+from ..imgproc.integral import integral_image
+
+
+@dataclass(frozen=True)
+class Feature:
+    """A trackable point: (row, col) at pixel precision plus its score."""
+
+    row: float
+    col: float
+    score: float
+
+
+def structure_tensor_fields(
+    image: np.ndarray,
+    window: int = 7,
+    profiler: Optional[KernelProfiler] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Windowed structure-tensor components ``(Sxx, Sxy, Syy)`` per pixel.
+
+    Gradients are computed on the binomially smoothed image; each tensor
+    entry is summed over a ``window x window`` neighbourhood using one
+    integral image per component (the benchmark's IntegralImage + AreaSum
+    kernels).  Border pixels reuse the nearest interior window.
+    """
+    profiler = ensure_profiler(profiler)
+    if window < 3 or window % 2 == 0:
+        raise ValueError("window must be an odd integer >= 3")
+    with profiler.kernel("GaussianFilter"):
+        smooth = binomial_blur(np.asarray(image, dtype=np.float64))
+    with profiler.kernel("Gradient"):
+        gx, gy = gradient(smooth)
+        gxx, gxy, gyy = gx * gx, gx * gy, gy * gy
+    with profiler.kernel("IntegralImage"):
+        tables = [integral_image(f) for f in (gxx, gxy, gyy)]
+    with profiler.kernel("AreaSum"):
+        sums = []
+        rows, cols = image.shape
+        half = window // 2
+        for table in tables:
+            inner = (
+                table[window:, window:]
+                - table[:-window, window:]
+                - table[window:, :-window]
+                + table[:-window, :-window]
+            )
+            field = np.empty((rows, cols))
+            field[half : rows - half, half : cols - half] = inner
+            field[:half, half : cols - half] = inner[0]
+            field[rows - half :, half : cols - half] = inner[-1]
+            field[:, :half] = field[:, half : half + 1]
+            field[:, cols - half :] = field[:, cols - half - 1 : cols - half]
+            sums.append(field)
+    return sums[0], sums[1], sums[2]
+
+
+def min_eigenvalue_map(sxx: np.ndarray, sxy: np.ndarray,
+                       syy: np.ndarray) -> np.ndarray:
+    """Smaller eigenvalue of the 2x2 structure tensor at every pixel."""
+    trace_half = 0.5 * (sxx + syy)
+    discriminant = np.sqrt(
+        np.maximum(0.0, 0.25 * (sxx - syy) ** 2 + sxy * sxy)
+    )
+    return trace_half - discriminant
+
+
+def select_features(
+    score: np.ndarray,
+    max_features: int = 64,
+    min_distance: int = 6,
+    quality: float = 0.05,
+    border: int = 8,
+) -> List[Feature]:
+    """Greedy top-score selection with a minimum inter-feature distance.
+
+    Candidates below ``quality * max_score`` or inside the image border
+    are discarded — the same pruning the suite's extraction code applies.
+    """
+    if max_features < 1:
+        raise ValueError("max_features must be positive")
+    score = np.asarray(score, dtype=np.float64)
+    rows, cols = score.shape
+    masked = score.copy()
+    if border > 0:
+        masked[:border] = -np.inf
+        masked[-border:] = -np.inf
+        masked[:, :border] = -np.inf
+        masked[:, -border:] = -np.inf
+    peak = float(masked.max())
+    if not np.isfinite(peak) or peak <= 0.0:
+        return []
+    threshold = quality * peak
+    order = np.argsort(masked, axis=None)[::-1]
+    taken: List[Feature] = []
+    occupied = np.zeros_like(score, dtype=bool)
+    for flat in order:
+        if len(taken) >= max_features:
+            break
+        value = masked.flat[flat]
+        if value < threshold:
+            break
+        r, c = divmod(int(flat), cols)
+        if occupied[r, c]:
+            continue
+        taken.append(Feature(row=float(r), col=float(c), score=float(value)))
+        r0, r1 = max(0, r - min_distance), min(rows, r + min_distance + 1)
+        c0, c1 = max(0, c - min_distance), min(cols, c + min_distance + 1)
+        occupied[r0:r1, c0:c1] = True
+    return taken
+
+
+def good_features(
+    image: np.ndarray,
+    max_features: int = 64,
+    window: int = 7,
+    min_distance: int = 6,
+    quality: float = 0.05,
+    profiler: Optional[KernelProfiler] = None,
+) -> List[Feature]:
+    """Full extraction pipeline: tensor fields -> scores -> selection."""
+    profiler = ensure_profiler(profiler)
+    sxx, sxy, syy = structure_tensor_fields(image, window, profiler)
+    with profiler.kernel("AreaSum"):
+        score = min_eigenvalue_map(sxx, sxy, syy)
+        return select_features(
+            score,
+            max_features=max_features,
+            min_distance=min_distance,
+            quality=quality,
+        )

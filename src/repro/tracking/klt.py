@@ -1,0 +1,199 @@
+"""Pyramidal Kanade-Lucas-Tomasi feature tracking.
+
+For each feature, the tracker solves the optical-flow normal equations
+
+    [Sxx Sxy] [dx]   [ex]
+    [Sxy Syy] [dy] = [ey]
+
+over a patch around the feature, iterating Newton steps at each pyramid
+level from coarse to fine.  The 2x2 solve is the benchmark's
+"Matrix Inversion" kernel; patch sampling uses bilinear interpolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from ..imgproc.filters import binomial_blur
+from ..imgproc.gradient import gradient
+from ..imgproc.interpolate import bilinear
+from ..imgproc.pyramid import gaussian_pyramid
+from ..linalg.matrix import SingularMatrixError, inverse_2x2
+from .features import Feature, good_features
+
+
+@dataclass(frozen=True)
+class Track:
+    """One feature's correspondence between two frames."""
+
+    start: Tuple[float, float]  # (row, col) in the first frame
+    end: Tuple[float, float]  # (row, col) in the second frame
+    converged: bool
+    residual: float
+
+    @property
+    def motion(self) -> Tuple[float, float]:
+        return (self.end[0] - self.start[0], self.end[1] - self.start[1])
+
+
+def _patch_coords(row: float, col: float,
+                  half: int) -> Tuple[np.ndarray, np.ndarray]:
+    offsets = np.arange(-half, half + 1, dtype=np.float64)
+    rr, cc = np.meshgrid(row + offsets, col + offsets, indexing="ij")
+    return rr, cc
+
+
+def track_feature_level(
+    prev_img: np.ndarray,
+    next_img: np.ndarray,
+    prev_gx: np.ndarray,
+    prev_gy: np.ndarray,
+    row: float,
+    col: float,
+    guess: Tuple[float, float],
+    half: int = 4,
+    iterations: int = 12,
+    epsilon: float = 0.01,
+    profiler: Optional[KernelProfiler] = None,
+) -> Tuple[Tuple[float, float], bool, float]:
+    """Refine a displacement guess at one pyramid level.
+
+    Returns ``((dy, dx), converged, residual)`` where the displacement
+    maps ``(row, col)`` in ``prev_img`` to ``(row+dy, col+dx)`` in
+    ``next_img``.
+    """
+    profiler = ensure_profiler(profiler)
+    # The whole per-feature solve — structure-tensor accumulation, the
+    # 2x2 inverse, and the Newton iterations it drives — is the paper's
+    # "Matrix Inversion" kernel (described as transpose/multiply-heavy).
+    with profiler.kernel("MatrixInversion"):
+        rr, cc = _patch_coords(row, col, half)
+        template = bilinear(prev_img, rr, cc)
+        gx = bilinear(prev_gx, rr, cc)
+        gy = bilinear(prev_gy, rr, cc)
+        sxx = float((gx * gx).sum())
+        sxy = float((gx * gy).sum())
+        syy = float((gy * gy).sum())
+        try:
+            g_inv = inverse_2x2(np.array([[sxx, sxy], [sxy, syy]]))
+        except SingularMatrixError:
+            return guess, False, float("inf")
+        dy, dx = guess
+        residual = float("inf")
+        converged = False
+        for _ in range(iterations):
+            warped = bilinear(next_img, rr + dy, cc + dx)
+            error = template - warped
+            residual = float(np.abs(error).mean())
+            ex = float((error * gx).sum())
+            ey = float((error * gy).sum())
+            step_x = g_inv[0, 0] * ex + g_inv[0, 1] * ey
+            step_y = g_inv[1, 0] * ex + g_inv[1, 1] * ey
+            dx += step_x
+            dy += step_y
+            if abs(step_x) < epsilon and abs(step_y) < epsilon:
+                converged = True
+                break
+    return (dy, dx), converged, residual
+
+
+def track_features(
+    prev_frame: np.ndarray,
+    next_frame: np.ndarray,
+    features: Sequence[Feature],
+    levels: int = 3,
+    half: int = 4,
+    iterations: int = 12,
+    profiler: Optional[KernelProfiler] = None,
+) -> List[Track]:
+    """Track ``features`` from ``prev_frame`` into ``next_frame``.
+
+    Builds Gaussian pyramids ("GaussianFilter" kernel), differentiates
+    every level ("Gradient"), then refines each feature coarse-to-fine.
+    """
+    profiler = ensure_profiler(profiler)
+    prev_frame = np.asarray(prev_frame, dtype=np.float64)
+    next_frame = np.asarray(next_frame, dtype=np.float64)
+    if prev_frame.shape != next_frame.shape:
+        raise ValueError("frame shapes differ")
+    with profiler.kernel("GaussianFilter"):
+        prev_pyr = gaussian_pyramid(prev_frame, levels)
+        next_pyr = gaussian_pyramid(next_frame, levels)
+    with profiler.kernel("Gradient"):
+        grads = [gradient(level) for level in prev_pyr]
+    tracks: List[Track] = []
+    for feature in features:
+        dy, dx = 0.0, 0.0
+        converged = False
+        residual = float("inf")
+        for level in range(levels - 1, -1, -1):
+            scale = 2.0**level
+            (dy, dx), converged, residual = track_feature_level(
+                prev_pyr[level],
+                next_pyr[level],
+                grads[level][0],
+                grads[level][1],
+                feature.row / scale,
+                feature.col / scale,
+                (dy, dx),
+                half=half,
+                iterations=iterations,
+                profiler=profiler,
+            )
+            if level > 0:
+                dy *= 2.0
+                dx *= 2.0
+        tracks.append(
+            Track(
+                start=(feature.row, feature.col),
+                end=(feature.row + dy, feature.col + dx),
+                converged=converged,
+                residual=residual,
+            )
+        )
+    return tracks
+
+
+def track_sequence(
+    frames: Sequence[np.ndarray],
+    max_features: int = 48,
+    levels: int = 3,
+    profiler: Optional[KernelProfiler] = None,
+) -> List[List[Track]]:
+    """Run the full benchmark pipeline over consecutive frame pairs.
+
+    Features are re-extracted on every frame (the suite's per-frame
+    image-processing phase) and tracked into the next frame.
+    """
+    if len(frames) < 2:
+        raise ValueError("need at least two frames")
+    profiler = ensure_profiler(profiler)
+    all_tracks: List[List[Track]] = []
+    for prev_frame, next_frame in zip(frames[:-1], frames[1:]):
+        features = good_features(
+            prev_frame, max_features=max_features, profiler=profiler
+        )
+        all_tracks.append(
+            track_features(
+                prev_frame, next_frame, features, levels=levels,
+                profiler=profiler,
+            )
+        )
+    return all_tracks
+
+
+def median_motion(tracks: Sequence[Track],
+                  converged_only: bool = True) -> Tuple[float, float]:
+    """Robust (median) motion estimate across tracks — used for testing
+    against the known ground-truth translation of synthetic sequences."""
+    chosen = [t for t in tracks if t.converged] if converged_only else list(tracks)
+    if not chosen:
+        raise ValueError("no converged tracks")
+    dys = sorted(t.motion[0] for t in chosen)
+    dxs = sorted(t.motion[1] for t in chosen)
+    mid = len(chosen) // 2
+    return dys[mid], dxs[mid]

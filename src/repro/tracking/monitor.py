@@ -1,0 +1,105 @@
+"""Track-quality monitoring: forward-backward validation.
+
+Shi & Tomasi's "Good Features to Track" pairs detection with *monitoring*
+— discarding features whose appearance no longer matches.  The standard
+modern form is the forward-backward check: track each feature forward a
+frame, then track the result backward; a healthy track returns to its
+start.  Features drifting onto occlusions or leaving the frame fail the
+round trip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.profiler import KernelProfiler, ensure_profiler
+from .features import Feature
+from .klt import Track, track_features
+
+
+@dataclass(frozen=True)
+class ValidatedTrack:
+    """A forward track plus its round-trip error."""
+
+    forward: Track
+    backward_error: float
+    valid: bool
+
+
+def forward_backward_tracks(
+    prev_frame: np.ndarray,
+    next_frame: np.ndarray,
+    features: Sequence[Feature],
+    max_error: float = 0.5,
+    levels: int = 3,
+    profiler: Optional[KernelProfiler] = None,
+) -> List[ValidatedTrack]:
+    """Track forward then backward; flag tracks whose round trip drifts.
+
+    ``max_error`` is the allowed distance (pixels) between a feature's
+    start and its backward-tracked return position.
+    """
+    profiler = ensure_profiler(profiler)
+    forward = track_features(prev_frame, next_frame, features,
+                             levels=levels, profiler=profiler)
+    # Backward pass starts from the forward endpoints.
+    endpoints = [
+        Feature(row=t.end[0], col=t.end[1], score=0.0) for t in forward
+    ]
+    backward = track_features(next_frame, prev_frame, endpoints,
+                              levels=levels, profiler=profiler)
+    validated = []
+    for fwd, bwd in zip(forward, backward):
+        error = math.hypot(
+            bwd.end[0] - fwd.start[0], bwd.end[1] - fwd.start[1]
+        )
+        validated.append(
+            ValidatedTrack(
+                forward=fwd,
+                backward_error=error,
+                valid=fwd.converged and bwd.converged and error <= max_error,
+            )
+        )
+    return validated
+
+
+def surviving_features(
+    validated: Sequence[ValidatedTrack],
+) -> List[Feature]:
+    """Endpoints of valid tracks, re-usable as next-frame features."""
+    return [
+        Feature(row=v.forward.end[0], col=v.forward.end[1], score=0.0)
+        for v in validated
+        if v.valid
+    ]
+
+
+def track_with_monitoring(
+    frames: Sequence[np.ndarray],
+    initial_features: Sequence[Feature],
+    max_error: float = 0.5,
+    levels: int = 3,
+    profiler: Optional[KernelProfiler] = None,
+) -> List[List[ValidatedTrack]]:
+    """Follow one feature population through a sequence, dropping tracks
+    that fail the forward-backward check at any step."""
+    if len(frames) < 2:
+        raise ValueError("need at least two frames")
+    profiler = ensure_profiler(profiler)
+    population = list(initial_features)
+    history: List[List[ValidatedTrack]] = []
+    for prev_frame, next_frame in zip(frames[:-1], frames[1:]):
+        if not population:
+            history.append([])
+            continue
+        validated = forward_backward_tracks(
+            prev_frame, next_frame, population,
+            max_error=max_error, levels=levels, profiler=profiler,
+        )
+        history.append(validated)
+        population = surviving_features(validated)
+    return history

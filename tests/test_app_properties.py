@@ -1,0 +1,143 @@
+"""Hypothesis property tests on application-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import Tracer, tree_sum
+from repro.stitch import apply_homography, fit_affine, homography_dlt, \
+    ransac_affine
+from repro.svm import gram_matrix, linear_kernel, solve_svm_dual
+from repro.texture import match_histogram, moments
+from repro.tracking import track_feature_level
+from repro.imgproc.gradient import gradient
+
+
+class TestAffineProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_fit_affine_recovers_random_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = np.eye(2) + 0.3 * rng.standard_normal((2, 2))
+        assume(abs(np.linalg.det(matrix)) > 0.2)
+        translation = rng.uniform(-20, 20, 2)
+        src = rng.uniform(0, 50, (12, 2))
+        dst = src @ matrix.T + translation
+        model = fit_affine(src, dst)
+        assert np.allclose(model.matrix, matrix, atol=1e-7)
+        assert np.allclose(model.translation, translation, atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_ransac_is_exact_without_outliers(self, seed):
+        rng = np.random.default_rng(seed)
+        translation = rng.uniform(-10, 10, 2)
+        src = rng.uniform(0, 40, (20, 2))
+        dst = src + translation
+        result = ransac_affine(src, dst, seed=seed)
+        assert result.n_inliers == 20
+        assert np.allclose(result.model.translation, translation, atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_homography_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        h = np.eye(3)
+        h[:2, :2] += 0.2 * rng.standard_normal((2, 2))
+        h[:2, 2] = rng.uniform(-5, 5, 2)
+        h[2, :2] = rng.uniform(-0.002, 0.002, 2)
+        assume(abs(np.linalg.det(h)) > 0.1)
+        src = rng.uniform(5, 45, (16, 2))
+        dst = apply_homography(h, src)
+        recovered = homography_dlt(src, dst)
+        assert np.allclose(apply_homography(recovered, src), dst, atol=1e-5)
+
+
+class TestSvmProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_dual_solution_always_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 24
+        labels = np.where(rng.random(n) < 0.5, -1.0, 1.0)
+        if len(np.unique(labels)) < 2:
+            labels[0] = -labels[0]
+        points = rng.standard_normal((n, 3)) + np.outer(labels, [1, 1, 1])
+        gram = gram_matrix(linear_kernel(), points)
+        q = gram * np.outer(labels, labels)
+        result = solve_svm_dual(q, labels, c=1.0)
+        assert abs(labels @ result.alpha) < 1e-6
+        assert (result.alpha >= -1e-9).all()
+        assert (result.alpha <= 1.0 + 1e-9).all()
+        # The duality gap shrinks monotonically on average.
+        gaps = result.trace.duality_gaps
+        assert gaps[-1] <= gaps[0]
+
+
+class TestHistogramProperties:
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.floats(-10, 10, allow_nan=False), min_size=4,
+                 max_size=60),
+        st.integers(0, 1000),
+    )
+    def test_histogram_transfer_is_exact(self, target_values, seed):
+        target = np.sort(np.asarray(target_values))
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(target.size)
+        out = match_histogram(values, target)
+        assert np.allclose(np.sort(out), target)
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 1000))
+    def test_moments_shift_and_scale_equivariance(self, seed):
+        rng = np.random.default_rng(seed)
+        sample = rng.standard_normal(500)
+        base = moments(sample)
+        shifted = moments(sample * 3.0 + 5.0)
+        assert shifted[0] == pytest.approx(base[0] * 3.0 + 5.0)
+        assert shifted[1] == pytest.approx(base[1] * 9.0)
+        # Skew and kurtosis are affine invariant.
+        assert shifted[2] == pytest.approx(base[2], abs=1e-9)
+        assert shifted[3] == pytest.approx(base[3], abs=1e-9)
+
+
+class TestKltProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(-2, 2), st.integers(-2, 2))
+    def test_single_feature_recovers_integer_shift(self, dy, dx):
+        rng = np.random.default_rng(abs(dy) * 10 + abs(dx))
+        canvas = rng.random((48, 48))
+        from repro.imgproc.filters import gaussian_blur
+
+        canvas = gaussian_blur(canvas, 1.0)
+        prev = canvas[4:36, 4:36]
+        nxt = canvas[4 + dy : 36 + dy, 4 + dx : 36 + dx]
+        gx, gy = gradient(prev)
+        (got_dy, got_dx), converged, _residual = track_feature_level(
+            prev, nxt, gx, gy, row=16.0, col=16.0, guess=(0.0, 0.0),
+            half=6, iterations=30,
+        )
+        assert converged
+        # Window moves by (dy, dx) -> content moves by (-dy, -dx).
+        assert got_dy == pytest.approx(-dy, abs=0.2)
+        assert got_dx == pytest.approx(-dx, abs=0.2)
+
+
+class TestTracerProperties:
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
+                    max_size=40))
+    def test_tree_sum_value_matches_python_sum(self, values):
+        tracer = Tracer()
+        total = tree_sum(tracer.constants(values))
+        assert float(total) == pytest.approx(sum(values), rel=1e-9,
+                                             abs=1e-9)
+
+    @settings(max_examples=25)
+    @given(st.integers(1, 64))
+    def test_tree_sum_span_is_logarithmic(self, n):
+        tracer = Tracer()
+        tree_sum(tracer.constants([1.0] * n))
+        assert tracer.span <= int(np.ceil(np.log2(max(n, 2)))) + 1

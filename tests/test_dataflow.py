@@ -1,0 +1,209 @@
+"""Unit and property tests for the work/span dataflow analyzer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import (
+    Chain,
+    Op,
+    Par,
+    ParMap,
+    Reduce,
+    Scan,
+    Seq,
+    TaskGraph,
+    graph_from_model,
+)
+
+
+class TestCombinators:
+    def test_op(self):
+        m = Op(5)
+        assert m.work == 5
+        assert m.span == 5
+        assert m.parallelism == 1.0
+
+    def test_op_zero(self):
+        m = Op(0)
+        assert m.work == 0
+        assert m.parallelism == 1.0
+
+    def test_op_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Op(-1)
+
+    def test_seq_adds_both(self):
+        m = Seq(Op(2), Op(3))
+        assert (m.work, m.span) == (5, 5)
+
+    def test_par_max_span(self):
+        m = Par(Op(2), Op(7), Op(3))
+        assert (m.work, m.span) == (12, 7)
+
+    def test_parmap(self):
+        m = ParMap(10, Op(3))
+        assert (m.work, m.span) == (30, 3)
+        assert m.parallelism == pytest.approx(10.0)
+
+    def test_parmap_zero_iterations(self):
+        m = ParMap(0, Op(3))
+        assert (m.work, m.span) == (0, 0)
+
+    def test_chain_multiplies_both(self):
+        m = Chain(10, Op(3))
+        assert (m.work, m.span) == (30, 30)
+        assert m.parallelism == pytest.approx(1.0)
+
+    def test_reduce_log_span(self):
+        m = Reduce(8)
+        assert m.work == 7
+        assert m.span == 3
+
+    def test_reduce_non_power_of_two(self):
+        m = Reduce(9)
+        assert m.work == 8
+        assert m.span == math.ceil(math.log2(9))
+
+    def test_reduce_trivial(self):
+        assert Reduce(1).work == 0
+        assert Reduce(0).work == 0
+
+    def test_scan_work_and_span(self):
+        m = Scan(16)
+        assert m.work == 30
+        assert m.span == 8
+
+    def test_nested_composition(self):
+        # A separable filter: two passes, each fully parallel over pixels.
+        m = Seq(ParMap(100, Op(5)), ParMap(100, Op(5)))
+        assert m.work == 1000
+        assert m.span == 10
+        assert m.parallelism == pytest.approx(100.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ParMap(-1, Op(1))
+        with pytest.raises(ValueError):
+            Chain(-1, Op(1))
+        with pytest.raises(ValueError):
+            Reduce(-1)
+
+
+class TestTaskGraph:
+    def test_empty_graph(self):
+        g = TaskGraph()
+        assert (g.work, g.span) == (0, 0)
+        assert g.parallelism == 1.0
+
+    def test_serial_chain(self):
+        g = TaskGraph()
+        g.add("a", 2)
+        g.add("b", 3, deps=["a"])
+        assert (g.work, g.span) == (5, 5)
+
+    def test_parallel_tasks(self):
+        g = TaskGraph()
+        g.add("a", 4)
+        g.add("b", 4)
+        assert (g.work, g.span) == (8, 4)
+        assert g.parallelism == pytest.approx(2.0)
+
+    def test_diamond(self):
+        g = TaskGraph()
+        g.add("src", 1)
+        g.add("left", 5, deps=["src"])
+        g.add("right", 2, deps=["src"])
+        g.add("sink", 1, deps=["left", "right"])
+        assert g.work == 9
+        assert g.span == 7  # src -> left -> sink
+
+    def test_unknown_dep_raises(self):
+        g = TaskGraph()
+        with pytest.raises(KeyError):
+            g.add("a", 1, deps=["ghost"])
+
+    def test_duplicate_task_raises(self):
+        g = TaskGraph()
+        g.add("a", 1)
+        with pytest.raises(ValueError):
+            g.add("a", 1)
+
+    def test_contains_and_len(self):
+        g = TaskGraph()
+        g.add("a", 1)
+        assert "a" in g
+        assert len(g) == 1
+
+
+class TestModelGraphAgreement:
+    """graph_from_model must agree exactly with the combinator algebra."""
+
+    @given(st.integers(min_value=0, max_value=20))
+    def test_op(self, n):
+        m = Op(n)
+        g = graph_from_model(m)
+        assert (g.work, g.span) == (m.work, m.span)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_parmap(self, n, cost):
+        m = ParMap(n, Op(cost))
+        g = graph_from_model(m)
+        assert (g.work, g.span) == (m.work, m.span)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_chain(self, n, cost):
+        m = Chain(n, Op(cost))
+        g = graph_from_model(m)
+        assert (g.work, g.span) == (m.work, m.span)
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_reduce(self, n):
+        m = Reduce(n)
+        g = graph_from_model(m)
+        assert (g.work, g.span) == (m.work, m.span)
+
+    @given(st.sampled_from([2, 4, 8, 16, 32]))
+    def test_scan_power_of_two(self, n):
+        m = Scan(n)
+        g = graph_from_model(m)
+        assert (g.work, g.span) == (m.work, m.span)
+
+    @settings(max_examples=30)
+    @given(st.recursive(
+        st.integers(min_value=1, max_value=4).map(Op),
+        lambda children: st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(lambda l: Seq(*l)),
+            st.lists(children, min_size=1, max_size=3).map(lambda l: Par(*l)),
+            st.tuples(st.integers(1, 3), children).map(
+                lambda t: ParMap(t[0], t[1])
+            ),
+            st.tuples(st.integers(1, 3), children).map(
+                lambda t: Chain(t[0], t[1])
+            ),
+        ),
+        max_leaves=6,
+    ))
+    def test_arbitrary_composition(self, model):
+        g = graph_from_model(model)
+        assert (g.work, g.span) == (model.work, model.span)
+
+    @settings(max_examples=30)
+    @given(st.recursive(
+        st.integers(min_value=1, max_value=4).map(Op),
+        lambda children: st.lists(children, min_size=1, max_size=3).map(
+            lambda l: Seq(*l)
+        ),
+        max_leaves=6,
+    ))
+    def test_span_never_exceeds_work(self, model):
+        assert model.span <= model.work
+        assert model.parallelism >= 1.0 or model.work == 0

@@ -1,0 +1,153 @@
+"""Tests for the Disparity Map application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InputSize, KernelProfiler
+from repro.core.inputs import stereo_pair
+from repro.disparity import (
+    BENCHMARK,
+    correlate_window,
+    dense_disparity,
+    disparity_error,
+    shift_right,
+    ssd_map,
+)
+
+
+class TestShiftRight:
+    def test_zero_shift_copies(self):
+        img = np.random.default_rng(0).random((4, 6))
+        out = shift_right(img, 0)
+        assert np.array_equal(out, img)
+        assert out is not img
+
+    def test_shift_moves_columns(self):
+        img = np.arange(12, dtype=np.float64).reshape(3, 4)
+        out = shift_right(img, 2)
+        assert np.array_equal(out[:, 2:], img[:, :2])
+
+    def test_border_replicates(self):
+        img = np.arange(8, dtype=np.float64).reshape(2, 4)
+        out = shift_right(img, 3)
+        assert np.array_equal(out[:, 0], img[:, 0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            shift_right(np.ones((2, 2)), -1)
+
+
+class TestSsd:
+    def test_zero_at_true_shift(self):
+        rng = np.random.default_rng(1)
+        left = rng.random((10, 20))
+        right = np.empty_like(left)
+        d = 3
+        right[:, :-d] = left[:, d:]
+        right[:, -d:] = left[:, -1:]
+        ssd = ssd_map(left, right, d)
+        assert np.abs(ssd[:, d:-d]).max() < 1e-12
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        ssd = ssd_map(rng.random((6, 8)), rng.random((6, 8)), 1)
+        assert (ssd >= 0).all()
+
+
+class TestCorrelateWindow:
+    def test_interior_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        ssd = rng.random((12, 14))
+        out = correlate_window(ssd, 3)
+        assert out[5, 6] == pytest.approx(ssd[4:7, 5:8].sum())
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            correlate_window(np.ones((8, 8)), 4)
+
+    def test_oversized_window_rejected(self):
+        with pytest.raises(ValueError):
+            correlate_window(np.ones((4, 4)), 5)
+
+    def test_profiler_kernels_recorded(self):
+        profiler = KernelProfiler()
+        with profiler.run():
+            correlate_window(np.ones((10, 10)), 3, profiler)
+        assert "IntegralImage" in profiler.kernel_seconds
+        assert "Correlation" in profiler.kernel_seconds
+
+
+class TestDenseDisparity:
+    def test_recovers_known_disparity(self):
+        pair = stereo_pair(InputSize.SQCIF, 0, max_disparity=12)
+        result = dense_disparity(pair.left, pair.right, max_disparity=16)
+        assert disparity_error(result, pair.true_disparity) < 1.0
+
+    @pytest.mark.parametrize("variant", [1, 2])
+    def test_all_variants_work(self, variant):
+        pair = stereo_pair(InputSize.SQCIF, variant, max_disparity=12)
+        result = dense_disparity(pair.left, pair.right, max_disparity=16)
+        assert disparity_error(result, pair.true_disparity) < 1.5
+
+    def test_disparity_in_range(self):
+        pair = stereo_pair(InputSize.SQCIF, 0)
+        result = dense_disparity(pair.left, pair.right, max_disparity=8)
+        assert result.disparity.min() >= 0
+        assert result.disparity.max() < 8
+
+    def test_identical_images_zero_disparity(self):
+        img = np.random.default_rng(4).random(InputSize.SQCIF.shape)
+        result = dense_disparity(img, img, max_disparity=8)
+        assert (result.disparity == 0).mean() > 0.95
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dense_disparity(np.ones((4, 8)), np.ones((4, 9)))
+
+    def test_bad_max_disparity(self):
+        img = np.ones((8, 8))
+        with pytest.raises(ValueError):
+            dense_disparity(img, img, max_disparity=0)
+        with pytest.raises(ValueError):
+            dense_disparity(img, img, max_disparity=8)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 5))
+    def test_synthetic_shift_recovered(self, d):
+        rng = np.random.default_rng(d)
+        left = rng.random((32, 64))
+        right = shift_right(left, 0)
+        right[:, :-d] = left[:, d:]
+        right[:, -d:] = left[:, -1:]
+        result = dense_disparity(left, right, max_disparity=8, window=5,
+                                 prefilter=False)
+        interior = result.disparity[8:-8, 8:-8]
+        assert np.median(interior) == d
+
+
+class TestBenchmarkWiring:
+    def test_run_outputs(self):
+        profiler = KernelProfiler()
+        workload = BENCHMARK.setup(InputSize.SQCIF, 0)
+        with profiler.run():
+            out = BENCHMARK.run(workload, profiler)
+        assert out["mean_abs_error"] < 1.5
+        for kernel in ("SSD", "IntegralImage", "Correlation", "Sort"):
+            assert kernel in profiler.kernel_seconds
+
+    def test_parallelism_rows(self):
+        rows = BENCHMARK.parallelism(InputSize.SQCIF)
+        by_kernel = {r.kernel: r for r in rows}
+        assert set(by_kernel) == {"Correlation", "IntegralImage", "Sort",
+                                  "SSD"}
+        # Paper ordering (weak form): SSD/Sort/Correlation all far above
+        # IntegralImage, whose serial accumulation chains cap its limit.
+        assert by_kernel["SSD"].parallelism >= \
+            by_kernel["Correlation"].parallelism
+        assert by_kernel["Sort"].parallelism > by_kernel["IntegralImage"].parallelism
+        assert by_kernel["Correlation"].parallelism > \
+            by_kernel["IntegralImage"].parallelism
+        for row in rows:
+            assert row.parallelism > 50  # all dense kernels are wide

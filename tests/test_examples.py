@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    ("quickstart.py", [], "disparity error"),
+    ("feature_tracking.py", [], "kernel breakdown"),
+    ("panorama_stitch.py", [], "registration error"),
+    ("texture_comparison.py", [], "Efros-Leung"),
+    ("face_detection.py", [], "operating curve"),
+    ("suite_report.py", ["disparity"], "Figure 2"),
+]
+
+SLOW_EXAMPLES = [
+    ("robot_localization.py", [], "final error"),
+    ("image_segmentation.py", [], "purity"),
+]
+
+
+def run_example(name, args):
+    script = os.path.join(EXAMPLES_DIR, name)
+    completed = subprocess.run(
+        [sys.executable, script, *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    return completed
+
+
+@pytest.mark.parametrize("name,args,marker", FAST_EXAMPLES,
+                         ids=[e[0] for e in FAST_EXAMPLES])
+def test_fast_example(name, args, marker):
+    completed = run_example(name, args)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert marker in completed.stdout
+
+
+@pytest.mark.parametrize("name,args,marker", SLOW_EXAMPLES,
+                         ids=[e[0] for e in SLOW_EXAMPLES])
+def test_slow_example(name, args, marker):
+    completed = run_example(name, args)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert marker in completed.stdout

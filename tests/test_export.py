@@ -1,0 +1,100 @@
+"""Tests for JSON export/import of suite results."""
+
+import json
+
+import pytest
+
+from repro.core import InputSize, run_suite
+from repro.core.export import (
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.core.types import BenchmarkRun, SuiteResult
+
+
+def small_result():
+    result = SuiteResult()
+    result.runs.append(
+        BenchmarkRun(
+            benchmark="demo",
+            size=InputSize.QCIF,
+            variant=2,
+            total_seconds=1.5,
+            kernel_seconds={"A": 1.0, "B": 0.25},
+            kernel_calls={"A": 4, "B": 1},
+            outputs={"metric": 0.5},
+        )
+    )
+    return result
+
+
+class TestRoundTrip:
+    def test_json_is_valid(self):
+        text = result_to_json(small_result())
+        payload = json.loads(text)
+        assert payload["schema"] == "sdvbs-repro/suite-result/v1"
+        assert len(payload["runs"]) == 1
+
+    def test_roundtrip_preserves_timings(self):
+        original = small_result()
+        restored = result_from_json(result_to_json(original))
+        assert len(restored.runs) == 1
+        run = restored.runs[0]
+        assert run.benchmark == "demo"
+        assert run.size == InputSize.QCIF
+        assert run.variant == 2
+        assert run.total_seconds == 1.5
+        assert run.kernel_seconds == {"A": 1.0, "B": 0.25}
+        assert run.kernel_calls == {"A": 4, "B": 1}
+
+    def test_occupancy_reconstructable(self):
+        restored = result_from_json(result_to_json(small_result()))
+        shares = restored.runs[0].occupancy()
+        assert shares["A"] == pytest.approx(100.0 * 1.0 / 1.5)
+
+    def test_outputs_stringified(self):
+        payload = result_to_dict(small_result())
+        assert payload["runs"][0]["outputs"]["metric"] == "0.5"
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"schema": "other", "runs": []})
+
+    def test_real_run_roundtrip(self):
+        result = run_suite(["disparity"], sizes=[InputSize.SQCIF],
+                           variants=[0])
+        restored = result_from_json(result_to_json(result))
+        assert restored.runs[0].benchmark == "disparity"
+        assert restored.mean_total("disparity", InputSize.SQCIF) == \
+            pytest.approx(result.mean_total("disparity", InputSize.SQCIF))
+
+
+class TestCliJson:
+    def test_run_json_flag(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(
+            ["run", "disparity", "--sizes", "sqcif", "--json"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["runs"][0]["benchmark"] == "disparity"
+
+
+class TestCliCompare:
+    def test_compare_two_json_files(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        from repro.core import run_suite
+        from repro.core.export import result_to_json
+
+        result = run_suite(["disparity"], sizes=[InputSize.SQCIF],
+                           variants=[0])
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(result_to_json(result))
+        cand.write_text(result_to_json(result))
+        assert cli_main(["compare", str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "geometric mean speedup: 1.00x" in out

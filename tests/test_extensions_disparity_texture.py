@@ -1,0 +1,122 @@
+"""Tests for the disparity refinements and the Efros-Leung baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import InputSize, KernelProfiler
+from repro.core.inputs import stereo_pair, texture_sample
+from repro.disparity import (
+    dense_disparity,
+    dense_disparity_sad,
+    disparity_error,
+    disparity_right_to_left,
+    left_right_consistency,
+    subpixel_disparity,
+)
+from repro.texture import analyze, synthesize_efros_leung
+
+
+class TestSadMatching:
+    def test_recovers_truth(self):
+        pair = stereo_pair(InputSize.SQCIF, 0, max_disparity=12)
+        result = dense_disparity_sad(pair.left, pair.right,
+                                     max_disparity=16)
+        assert disparity_error(result, pair.true_disparity) < 1.0
+
+    def test_profiles_same_kernels(self):
+        pair = stereo_pair(InputSize.SQCIF, 1, max_disparity=12)
+        profiler = KernelProfiler()
+        with profiler.run():
+            dense_disparity_sad(pair.left, pair.right, max_disparity=8,
+                                profiler=profiler)
+        for kernel in ("SSD", "IntegralImage", "Correlation", "Sort"):
+            assert kernel in profiler.kernel_seconds
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            dense_disparity_sad(np.ones((8, 8)), np.ones((8, 9)))
+        with pytest.raises(ValueError):
+            dense_disparity_sad(np.ones((8, 8)), np.ones((8, 8)),
+                                max_disparity=0)
+
+
+class TestLeftRightConsistency:
+    def test_valid_pixels_are_accurate(self):
+        pair = stereo_pair(InputSize.SQCIF, 0, max_disparity=12)
+        left = dense_disparity_sad(pair.left, pair.right, max_disparity=16)
+        right = disparity_right_to_left(pair.left, pair.right,
+                                        max_disparity=16)
+        consistency = left_right_consistency(left, right)
+        assert 0.0 <= consistency.invalid_fraction < 0.3
+        interior = consistency.disparity[8:-8, 8:-8]
+        truth = pair.true_disparity[8:-8, 8:-8]
+        valid_error = np.nanmean(np.abs(interior - truth))
+        # Cross-checked pixels are cleaner than the raw map.
+        raw_error = disparity_error(left, pair.true_disparity)
+        assert valid_error <= raw_error + 1e-9
+
+    def test_nan_marks_invalid(self):
+        pair = stereo_pair(InputSize.SQCIF, 2, max_disparity=12)
+        left = dense_disparity_sad(pair.left, pair.right, max_disparity=16)
+        right = disparity_right_to_left(pair.left, pair.right,
+                                        max_disparity=16)
+        consistency = left_right_consistency(left, right)
+        assert np.isnan(consistency.disparity[~consistency.valid]).all()
+        assert not np.isnan(consistency.disparity[consistency.valid]).any()
+
+
+class TestSubpixel:
+    def test_close_to_integer_truth(self):
+        pair = stereo_pair(InputSize.SQCIF, 0, max_disparity=12)
+        refined = subpixel_disparity(pair.left, pair.right,
+                                     max_disparity=16)
+        interior = refined[8:-8, 8:-8]
+        truth = pair.true_disparity[8:-8, 8:-8]
+        assert np.abs(interior - truth).mean() < 1.0
+
+    def test_offsets_bounded(self):
+        pair = stereo_pair(InputSize.SQCIF, 1, max_disparity=12)
+        refined = subpixel_disparity(pair.left, pair.right,
+                                     max_disparity=16)
+        # subpixel_disparity builds its volume without prefiltering, so
+        # compare against the matching integer winner.
+        integer = dense_disparity(pair.left, pair.right, max_disparity=16,
+                                  prefilter=False).disparity
+        assert np.abs(refined - integer).max() <= 0.5 + 1e-9
+
+
+class TestEfrosLeung:
+    def test_grows_full_output(self):
+        exemplar = texture_sample(InputSize.SQCIF, 0, "structural")[:20, :20]
+        result = synthesize_efros_leung(exemplar, (28, 28), window=7,
+                                        seed=0)
+        assert result.texture.shape == (28, 28)
+        assert result.pixels_synthesized == 28 * 28 - 7 * 7
+
+    def test_output_values_from_exemplar(self):
+        exemplar = texture_sample(InputSize.SQCIF, 1, "structural")[:18, :18]
+        result = synthesize_efros_leung(exemplar, (24, 24), window=5,
+                                        seed=1)
+        # Every synthesized value is copied from some exemplar pixel.
+        exemplar_values = set(np.round(exemplar.ravel(), 12))
+        synth_values = set(np.round(result.texture.ravel(), 12))
+        assert synth_values <= exemplar_values | {0.0}
+
+    def test_statistically_closer_than_noise(self):
+        exemplar = texture_sample(InputSize.SQCIF, 0, "structural")[:24, :24]
+        result = synthesize_efros_leung(exemplar, (32, 32), window=7,
+                                        seed=0)
+        target = analyze(exemplar, n_levels=2)
+        synth_stats = analyze(result.texture, n_levels=2)
+        noise = np.random.default_rng(0).random((32, 32))
+        noise_stats = analyze(noise, n_levels=2)
+        assert target.distance(synth_stats) < target.distance(noise_stats)
+
+    def test_input_validation(self):
+        exemplar = np.random.default_rng(2).random((16, 16))
+        with pytest.raises(ValueError):
+            synthesize_efros_leung(exemplar, (32, 32), window=4)
+        with pytest.raises(ValueError):
+            synthesize_efros_leung(exemplar, (4, 4), window=7)
+        with pytest.raises(ValueError):
+            synthesize_efros_leung(exemplar[:4, :4], (32, 32), window=7)

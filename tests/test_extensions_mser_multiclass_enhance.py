@@ -1,0 +1,185 @@
+"""Tests for MSER, multiclass SVM and the enhancement kernels."""
+
+import numpy as np
+import pytest
+
+from repro.imgproc.enhance import (
+    add_salt_pepper,
+    histogram_equalize,
+    median_filter,
+)
+from repro.sift.mser import MserRegion, detect_mser
+from repro.svm.multiclass import OneVsRestSVM, multiclass_blobs
+from repro.svm import linear_kernel
+
+
+def disk_image(side=48, center=(20, 28), radius=8, fg=0.15, bg=0.9,
+               noise=0.01, seed=0):
+    img = np.full((side, side), bg)
+    yy, xx = np.ogrid[:side, :side]
+    img[(yy - center[0]) ** 2 + (xx - center[1]) ** 2 <= radius**2] = fg
+    img += noise * np.random.default_rng(seed).standard_normal((side, side))
+    return img
+
+
+class TestMser:
+    def test_finds_dark_disk(self):
+        regions = detect_mser(disk_image(), polarity="dark")
+        assert regions
+        best = min(
+            regions,
+            key=lambda reg: abs(reg.centroid[0] - 20) + abs(
+                reg.centroid[1] - 28
+            ),
+        )
+        assert abs(best.centroid[0] - 20) < 2
+        assert abs(best.centroid[1] - 28) < 2
+        assert 100 < best.area < 320
+
+    def test_bright_polarity(self):
+        img = disk_image(fg=0.9, bg=0.15)
+        dark_regions = detect_mser(img, polarity="dark")
+        bright_regions = detect_mser(img, polarity="bright")
+        assert bright_regions
+        hits = [
+            reg for reg in bright_regions
+            if abs(reg.centroid[0] - 20) < 3 and abs(reg.centroid[1] - 28) < 3
+        ]
+        assert hits
+        assert not any(
+            abs(reg.centroid[0] - 20) < 3 and abs(reg.centroid[1] - 28) < 3
+            and 100 < reg.area < 320
+            for reg in dark_regions
+        )
+
+    def test_two_disks_two_regions(self):
+        img = np.full((48, 64), 0.9)
+        yy, xx = np.ogrid[:48, :64]
+        img[(yy - 14) ** 2 + (xx - 14) ** 2 <= 36] = 0.1
+        img[(yy - 32) ** 2 + (xx - 48) ** 2 <= 36] = 0.15
+        regions = detect_mser(img, min_area=20)
+        centroids = {(round(r.centroid[0]), round(r.centroid[1]))
+                     for r in regions}
+        assert any(abs(r - 14) <= 2 and abs(c - 14) <= 2
+                   for r, c in centroids)
+        assert any(abs(r - 32) <= 2 and abs(c - 48) <= 2
+                   for r, c in centroids)
+
+    def test_flat_image_no_regions(self):
+        assert detect_mser(np.full((32, 32), 0.5)) == []
+
+    def test_region_pixels_match_area(self):
+        regions = detect_mser(disk_image(), polarity="dark")
+        for region in regions:
+            assert isinstance(region, MserRegion)
+            assert region.pixels.shape[0] >= region.area * 0.5
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            detect_mser(np.ones(8))
+        with pytest.raises(ValueError):
+            detect_mser(np.ones((8, 8)), polarity="sideways")
+        with pytest.raises(ValueError):
+            detect_mser(np.ones((8, 8)), delta=0)
+
+
+class TestMulticlass:
+    def test_separable_blobs(self):
+        points, labels = multiclass_blobs(n_classes=3, per_class=25,
+                                          separation=4.0, seed=0)
+        model = OneVsRestSVM(kernel_factory=linear_kernel, c=5.0)
+        model.fit(points, labels)
+        assert model.accuracy(points, labels) > 0.9
+
+    def test_generalizes(self):
+        train = multiclass_blobs(n_classes=3, per_class=30, seed=1)
+        test = multiclass_blobs(n_classes=3, per_class=20, seed=1)
+        # Same centers (same seed), fresh noise comes from per-call rng —
+        # regenerate with different per_class to vary samples.
+        model = OneVsRestSVM(kernel_factory=linear_kernel, c=5.0)
+        model.fit(*train)
+        assert model.accuracy(*test) > 0.8
+
+    def test_decision_matrix_shape(self):
+        points, labels = multiclass_blobs(n_classes=4, per_class=15, seed=2)
+        model = OneVsRestSVM(kernel_factory=linear_kernel).fit(points,
+                                                               labels)
+        values = model.decision_matrix(points[:7])
+        assert values.shape == (7, 4)
+        assert len(model.classes) == 4
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            OneVsRestSVM().fit(np.ones((4, 2)), np.zeros(4))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            OneVsRestSVM().decision_matrix(np.ones((2, 2)))
+
+
+class TestMedianFilter:
+    def test_removes_salt_pepper(self):
+        clean = np.full((32, 32), 0.5)
+        noisy = add_salt_pepper(clean, fraction=0.08, seed=0)
+        filtered = median_filter(noisy, size=3)
+        assert np.abs(filtered - clean).mean() < \
+            0.2 * np.abs(noisy - clean).mean()
+
+    def test_preserves_constant(self):
+        img = np.full((10, 10), 0.7)
+        assert np.allclose(median_filter(img, 3), img)
+
+    def test_preserves_step_edge(self):
+        img = np.zeros((16, 16))
+        img[:, 8:] = 1.0
+        filtered = median_filter(img, 3)
+        assert np.allclose(filtered[:, :7], 0.0)
+        assert np.allclose(filtered[:, 9:], 1.0)
+
+    def test_size_one_identity(self):
+        img = np.random.default_rng(0).random((8, 8))
+        assert np.array_equal(median_filter(img, 1), img)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            median_filter(np.ones((8, 8)), 4)
+
+
+class TestHistogramEqualize:
+    def test_output_range(self):
+        img = np.random.default_rng(1).random((32, 32)) * 0.2 + 0.4
+        out = histogram_equalize(img)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_flattens_histogram(self):
+        rng = np.random.default_rng(2)
+        # Heavily skewed intensities.
+        img = rng.random((64, 64)) ** 4
+        out = histogram_equalize(img)
+        hist, _ = np.histogram(out, bins=8, range=(0, 1))
+        in_hist, _ = np.histogram(img, bins=8, range=(0, 1))
+        assert hist.std() < in_hist.std()
+
+    def test_monotone(self):
+        img = np.random.default_rng(3).random((16, 16))
+        out = histogram_equalize(img)
+        order_in = np.argsort(img.ravel(), kind="stable")
+        sorted_out = out.ravel()[order_in]
+        assert (np.diff(sorted_out) >= -1e-12).all()
+
+    def test_constant_image(self):
+        assert np.allclose(histogram_equalize(np.full((8, 8), 0.3)), 0.0)
+
+    def test_salt_pepper_fraction(self):
+        img = np.full((50, 50), 0.5)
+        noisy = add_salt_pepper(img, fraction=0.1, seed=4)
+        changed = (noisy != img).sum()
+        # Half the impulses land on 0, half on 1; some may coincide with
+        # the original value only if it were 0/1 (it is 0.5).
+        assert changed == int(0.1 * img.size)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            histogram_equalize(np.ones((8, 8)), bins=1)
+        with pytest.raises(ValueError):
+            add_salt_pepper(np.ones((8, 8)), fraction=1.5)

@@ -1,0 +1,126 @@
+"""Unit tests for interpolation, resizing and pyramids."""
+
+import numpy as np
+import pytest
+
+from repro.imgproc.interpolate import bilinear, downsample2, resize, upsample2
+from repro.imgproc.pyramid import gaussian_pyramid, scale_space
+
+
+class TestBilinear:
+    def test_integer_positions_exact(self):
+        img = np.random.default_rng(0).random((6, 7))
+        rr, cc = np.meshgrid(np.arange(6), np.arange(7), indexing="ij")
+        assert np.allclose(bilinear(img, rr, cc), img)
+
+    def test_midpoint_average(self):
+        img = np.array([[0.0, 1.0]])
+        assert bilinear(img, 0.0, 0.5) == pytest.approx(0.5)
+
+    def test_clamps_out_of_range(self):
+        img = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert bilinear(img, -5.0, -5.0) == pytest.approx(1.0)
+        assert bilinear(img, 10.0, 10.0) == pytest.approx(4.0)
+
+    def test_scalar_and_array_queries(self):
+        img = np.random.default_rng(1).random((4, 4))
+        single = bilinear(img, 1.5, 2.5)
+        batch = bilinear(img, np.array([1.5]), np.array([2.5]))
+        assert batch[0] == pytest.approx(float(single))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            bilinear(np.ones(4), 0, 0)
+
+
+class TestResize:
+    def test_identity_size(self):
+        img = np.random.default_rng(2).random((5, 8))
+        assert np.allclose(resize(img, 5, 8), img)
+
+    def test_corners_preserved(self):
+        img = np.random.default_rng(3).random((6, 6))
+        out = resize(img, 11, 11)
+        assert out[0, 0] == pytest.approx(img[0, 0])
+        assert out[-1, -1] == pytest.approx(img[-1, -1])
+
+    def test_upsample2_doubles(self):
+        img = np.random.default_rng(4).random((5, 7))
+        assert upsample2(img).shape == (10, 14)
+
+    def test_downsample2_halves(self):
+        img = np.random.default_rng(5).random((8, 10))
+        out = downsample2(img)
+        assert out.shape == (4, 5)
+        assert np.array_equal(out, img[::2, ::2])
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            resize(np.ones((4, 4)), 0, 4)
+
+    def test_constant_preserved(self):
+        img = np.full((6, 6), 0.3)
+        assert np.allclose(resize(img, 13, 9), 0.3)
+
+
+class TestGaussianPyramid:
+    def test_level_shapes(self):
+        img = np.random.default_rng(6).random((64, 48))
+        pyr = gaussian_pyramid(img, 3)
+        assert [p.shape for p in pyr] == [(64, 48), (32, 24), (16, 12)]
+
+    def test_level_zero_is_input(self):
+        img = np.random.default_rng(7).random((16, 16))
+        pyr = gaussian_pyramid(img, 2)
+        assert np.array_equal(pyr[0], img)
+
+    def test_too_many_levels(self):
+        with pytest.raises(ValueError):
+            gaussian_pyramid(np.ones((8, 8)), 4)
+
+    def test_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            gaussian_pyramid(np.ones((8, 8)), 0)
+
+    def test_coarser_levels_smoother(self):
+        rng = np.random.default_rng(8)
+        img = rng.standard_normal((64, 64))
+        pyr = gaussian_pyramid(img, 3)
+        assert pyr[2].std() < pyr[0].std()
+
+
+class TestScaleSpace:
+    def test_octave_structure(self):
+        img = np.random.default_rng(9).random((64, 64))
+        octaves = scale_space(img, 2, scales_per_octave=3)
+        assert len(octaves) == 2
+        assert len(octaves[0].gaussians) == 6  # s + 3
+        assert len(octaves[0].dogs) == 5
+
+    def test_sigmas_geometric(self):
+        img = np.random.default_rng(10).random((32, 32))
+        octaves = scale_space(img, 1, scales_per_octave=3, sigma0=1.6)
+        sigmas = octaves[0].sigmas
+        ratios = [sigmas[i + 1] / sigmas[i] for i in range(len(sigmas) - 1)]
+        assert np.allclose(ratios, 2.0 ** (1.0 / 3.0))
+
+    def test_dogs_are_differences(self):
+        img = np.random.default_rng(11).random((32, 32))
+        octave = scale_space(img, 1)[0]
+        assert np.allclose(
+            octave.dogs[0], octave.gaussians[1] - octave.gaussians[0]
+        )
+
+    def test_next_octave_halves(self):
+        img = np.random.default_rng(12).random((64, 64))
+        octaves = scale_space(img, 2)
+        assert octaves[1].gaussians[0].shape == (32, 32)
+
+    def test_too_small_image(self):
+        with pytest.raises(ValueError):
+            scale_space(np.ones((4, 4)), 1)
+
+    def test_stops_when_too_small(self):
+        img = np.random.default_rng(13).random((16, 16))
+        octaves = scale_space(img, 5)
+        assert 1 <= len(octaves) < 5

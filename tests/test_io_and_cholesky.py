@@ -1,0 +1,123 @@
+"""Tests for PGM I/O and the Cholesky/SPD solver additions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imgproc.io import read_pgm, write_pgm
+from repro.linalg import SingularMatrixError, cholesky, solve_spd
+
+
+def spd_matrix(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("n", [1, 2, 5, 10])
+    def test_factorization(self, n):
+        a = spd_matrix(n, n)
+        lower = cholesky(a)
+        assert np.allclose(lower @ lower.T, a, atol=1e-9)
+        assert np.allclose(np.triu(lower, 1), 0.0)
+        assert (np.diag(lower) > 0).all()
+
+    def test_matches_numpy(self):
+        a = spd_matrix(6, 42)
+        assert np.allclose(cholesky(a), np.linalg.cholesky(a), atol=1e-9)
+
+    def test_indefinite_rejected(self):
+        with pytest.raises(SingularMatrixError):
+            cholesky(np.diag([1.0, -2.0]))
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            cholesky(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    @pytest.mark.parametrize("n", [2, 6])
+    def test_solve_spd(self, n):
+        a = spd_matrix(n, n + 7)
+        x_true = np.arange(1.0, n + 1.0)
+        x = solve_spd(a, a @ x_true)
+        assert np.allclose(x, x_true, atol=1e-9)
+
+    def test_solve_spd_matrix_rhs(self):
+        a = spd_matrix(4, 3)
+        b = np.random.default_rng(4).random((4, 2))
+        x = solve_spd(a, b)
+        assert np.allclose(a @ x, b, atol=1e-9)
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 8), st.integers(0, 500))
+    def test_property_roundtrip(self, n, seed):
+        a = spd_matrix(n, seed)
+        lower = cholesky(a)
+        assert np.allclose(lower @ lower.T, a, atol=1e-8)
+
+
+class TestPgm:
+    def _image(self, seed=0, shape=(12, 17)):
+        return np.random.default_rng(seed).random(shape)
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_roundtrip_8bit(self, tmp_path, binary):
+        img = self._image()
+        path = tmp_path / "img.pgm"
+        write_pgm(path, img, binary=binary)
+        restored = read_pgm(path)
+        assert restored.shape == img.shape
+        assert np.abs(restored - img).max() <= 0.5 / 255 + 1e-9
+
+    def test_roundtrip_16bit(self, tmp_path):
+        img = self._image(1)
+        path = tmp_path / "img16.pgm"
+        write_pgm(path, img, maxval=65535)
+        restored = read_pgm(path)
+        assert np.abs(restored - img).max() <= 0.5 / 65535 + 1e-12
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_text("P2\n# a comment\n2 2\n# another\n255\n0 128\n255 64\n")
+        img = read_pgm(path)
+        assert img.shape == (2, 2)
+        assert img[0, 1] == pytest.approx(128 / 255)
+
+    def test_values_clipped_on_write(self, tmp_path):
+        path = tmp_path / "clip.pgm"
+        write_pgm(path, np.array([[-1.0, 2.0]]))
+        img = read_pgm(path)
+        assert img[0, 0] == 0.0
+        assert img[0, 1] == 1.0
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n2 2\n255\n" + bytes(12))
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "trunc.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n" + bytes(3))
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+    def test_invalid_write_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.ones(4))
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.ones((2, 2)), maxval=0)
+
+    def test_feeds_the_suite(self, tmp_path):
+        """End-to-end: a PGM image round-trips into SIFT."""
+        from repro.core import InputSize
+        from repro.core.inputs import image
+        from repro.sift import extract_features
+
+        scene = image(InputSize.SQCIF, 0)
+        path = tmp_path / "scene.pgm"
+        write_pgm(path, scene)
+        loaded = read_pgm(path)
+        result = extract_features(loaded, n_octaves=2)
+        assert len(result.keypoints) > 10

@@ -1,0 +1,163 @@
+"""Tests for the Robot Localization (MCL) application."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import InputSize, KernelProfiler
+from repro.core.inputs import robot_world
+from repro.localization import (
+    BENCHMARK,
+    MonteCarloLocalizer,
+    default_particle_count,
+    localize,
+    position_error,
+    raycast_batch,
+)
+
+
+def empty_room(side=20):
+    grid = np.zeros((side, side), dtype=np.int8)
+    grid[0, :] = grid[-1, :] = grid[:, 0] = grid[:, -1] = 1
+    return grid
+
+
+class TestRaycast:
+    def test_distance_to_wall(self):
+        grid = empty_room(20)
+        # Ray pointing +x from (10, 10): wall at column 19.
+        dist = raycast_batch(grid, np.array([10.0]), np.array([10.0]),
+                             np.array([0.0]), max_range=30.0)
+        assert dist[0] == pytest.approx(9.0, abs=0.3)
+
+    def test_four_directions_symmetric(self):
+        grid = empty_room(21)
+        angles = np.array([0.0, math.pi / 2, math.pi, -math.pi / 2])
+        dist = raycast_batch(grid, np.full(4, 10.5), np.full(4, 10.5),
+                             angles, max_range=30.0)
+        assert dist.std() < 0.3
+
+    def test_blocked_by_obstacle(self):
+        grid = empty_room(20)
+        grid[10, 14] = 1
+        dist = raycast_batch(grid, np.array([10.5]), np.array([10.5]),
+                             np.array([0.0]), max_range=30.0)
+        assert dist[0] < 4.0
+
+    def test_max_range_cap(self):
+        grid = np.zeros((50, 50), dtype=np.int8)  # no walls at all
+        dist = raycast_batch(grid, np.array([25.0]), np.array([25.0]),
+                             np.array([0.3]), max_range=5.0)
+        assert dist[0] == pytest.approx(5.0, abs=0.3)
+
+
+class TestParticleSet:
+    def test_initial_particles_in_free_space(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=2)
+        localizer = MonteCarloLocalizer(world=world, n_particles=100)
+        p = localizer.particles
+        assert p.size == 100
+        assert (world.grid[p.y.astype(int), p.x.astype(int)] == 0).all()
+        assert p.weights.sum() == pytest.approx(1.0)
+
+    def test_effective_sample_size(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=2)
+        localizer = MonteCarloLocalizer(world=world, n_particles=50)
+        assert localizer.particles.effective_sample_size() == \
+            pytest.approx(50.0)
+        localizer.particles.weights = np.zeros(50)
+        localizer.particles.weights[0] = 1.0
+        assert localizer.particles.effective_sample_size() == \
+            pytest.approx(1.0)
+
+    def test_too_few_particles(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=2)
+        with pytest.raises(ValueError):
+            MonteCarloLocalizer(world=world, n_particles=1)
+
+
+class TestUpdates:
+    def test_motion_update_moves_particles(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=2)
+        localizer = MonteCarloLocalizer(world=world, n_particles=100, seed=1)
+        before = localizer.particles.x.copy()
+        localizer.motion_update(0.0, 1.0)
+        assert not np.allclose(localizer.particles.x, before)
+
+    def test_measurement_update_normalizes(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=2)
+        localizer = MonteCarloLocalizer(world=world, n_particles=100, seed=2)
+        localizer.measurement_update(world.measurements[0])
+        assert localizer.particles.weights.sum() == pytest.approx(1.0)
+        assert (localizer.particles.weights >= 0).all()
+
+    def test_measurement_prefers_true_pose(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=4)
+        localizer = MonteCarloLocalizer(world=world, n_particles=64, seed=3)
+        # Plant one particle at the true pose after step 0.
+        x, y, theta = world.true_poses[0]
+        localizer.particles.x[0] = x
+        localizer.particles.y[0] = y
+        localizer.particles.theta[0] = theta
+        localizer.measurement_update(world.measurements[0])
+        assert localizer.particles.weights[0] == \
+            localizer.particles.weights.max()
+
+    def test_resample_uniform_weights(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=2)
+        localizer = MonteCarloLocalizer(world=world, n_particles=80, seed=4)
+        localizer.particles.weights = np.zeros(80)
+        localizer.particles.weights[7] = 1.0
+        anchor_x = localizer.particles.x[7]
+        localizer.resample()
+        p = localizer.particles
+        assert p.weights.std() == pytest.approx(0.0, abs=1e-12)
+        # Most particles cluster near the surviving ancestor.
+        assert np.median(np.abs(p.x - anchor_x)) < 1.0
+
+
+class TestLocalize:
+    def test_tracking_converges(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=16)
+        estimates = localize(world, n_particles=150, mode="tracking")
+        assert position_error(estimates, world.true_poses) < 0.8
+
+    def test_global_converges(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=40)
+        estimates = localize(world, mode="global")
+        assert position_error(estimates, world.true_poses) < 2.0
+
+    def test_unknown_mode(self):
+        world = robot_world(InputSize.SQCIF, 0, n_steps=2)
+        with pytest.raises(ValueError):
+            localize(world, mode="teleport")
+
+    def test_default_particle_count_scales(self):
+        small = robot_world(InputSize.SQCIF, 0, n_steps=1)
+        large = robot_world(InputSize.CIF, 0, n_steps=1)
+        assert default_particle_count(large) > default_particle_count(small)
+
+    def test_position_error_mismatch(self):
+        with pytest.raises(ValueError):
+            position_error([(0.0, 0.0, 0.0)], [])
+
+
+class TestBenchmarkWiring:
+    def test_run_and_kernels(self):
+        workload = BENCHMARK.setup(InputSize.SQCIF, 0)
+        profiler = KernelProfiler()
+        with profiler.run():
+            out = BENCHMARK.run(workload, profiler)
+        assert out["tracking_error"] < 0.8
+        assert out["global_error"] < 2.5
+        assert "ParticleFilter" in profiler.kernel_seconds
+        assert "Sampling" in profiler.kernel_seconds
+        # The particle filter dominates, per the paper's hotspot split.
+        assert profiler.kernel_seconds["ParticleFilter"] > \
+            profiler.kernel_seconds["Sampling"]
+
+    def test_parallelism_rows(self):
+        rows = {r.kernel: r for r in BENCHMARK.parallelism(InputSize.SQCIF)}
+        assert set(rows) == {"ParticleFilter", "Sampling"}
+        assert rows["ParticleFilter"].parallelism > 1.0

@@ -1,0 +1,162 @@
+"""Report-renderer edge cases plus extra hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.report import (
+    _format_parallelism,
+    format_table,
+    render_figure2,
+    render_table4,
+)
+from repro.core.runner import scaling_series
+from repro.core.types import BenchmarkRun, InputSize, ParallelismClass, \
+    ParallelismEstimate, SuiteResult
+from repro.imgproc.filters import gaussian_blur
+from repro.imgproc.integral import integral_image, rect_sum
+from repro.imgproc.interpolate import bilinear, resize
+from repro.imgproc.pad import pad
+
+images = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(5, 14), st.integers(5, 14)),
+    elements=st.floats(0, 1, allow_nan=False),
+)
+
+
+class TestFormatTable:
+    def test_column_widths_fit_content(self):
+        text = format_table(("A", "Long header"),
+                            [("wide cell here", "x")])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_title_included(self):
+        assert format_table(("A",), [("1",)], title="My Title").startswith(
+            "My Title"
+        )
+
+    def test_empty_rows(self):
+        text = format_table(("A", "B"), [])
+        assert "A" in text and "B" in text
+
+    def test_non_string_cells(self):
+        text = format_table(("A",), [(42,)])
+        assert "42" in text
+
+
+class TestFormatParallelism:
+    def test_thousands_comma(self):
+        assert _format_parallelism(12345.6) == "12,346x"
+
+    def test_tens(self):
+        assert _format_parallelism(42.4) == "42x"
+
+    def test_small(self):
+        assert _format_parallelism(1.0) == "1.0x"
+
+
+class TestScalingSeries:
+    def _result(self, times):
+        result = SuiteResult()
+        for size, t in zip(InputSize, times):
+            result.runs.append(
+                BenchmarkRun(benchmark="demo", size=size, variant=0,
+                             total_seconds=t)
+            )
+        return result
+
+    def test_normalized_to_sqcif(self):
+        series = scaling_series(self._result([1.0, 2.0, 4.0]), "demo")
+        assert [p.relative_time for p in series] == [1.0, 2.0, 4.0]
+
+    def test_missing_base_empty(self):
+        result = SuiteResult()
+        result.runs.append(
+            BenchmarkRun(benchmark="demo", size=InputSize.CIF, variant=0,
+                         total_seconds=1.0)
+        )
+        assert scaling_series(result, "demo") == []
+
+    def test_unknown_benchmark_empty(self):
+        assert scaling_series(self._result([1.0, 2.0, 4.0]), "ghost") == []
+
+    def test_figure2_renders_missing_sizes(self):
+        result = SuiteResult()
+        result.runs.append(
+            BenchmarkRun(benchmark="demo", size=InputSize.SQCIF,
+                         variant=0, total_seconds=1.0)
+        )
+        text = render_figure2(result, ["demo"])
+        assert "1.00x" in text
+        assert "-" in text  # missing sizes dashed
+
+
+class TestRenderTable4Explicit:
+    def test_accepts_precomputed_estimates(self):
+        estimate = ParallelismEstimate(
+            benchmark="demo", kernel="K", parallelism=123.0,
+            parallelism_class=ParallelismClass.DLP, work=123, span=1,
+        )
+        text = render_table4({"demo": [estimate]})
+        assert "123x" in text
+        assert "DLP" in text
+
+
+class TestImgprocProperties:
+    @settings(max_examples=25)
+    @given(images)
+    def test_blur_idempotent_on_constant_regions(self, img):
+        const = np.full_like(img, 0.5)
+        assert np.allclose(gaussian_blur(const, 1.0), const)
+
+    @settings(max_examples=25)
+    @given(images, st.floats(0, 1), st.floats(0, 1))
+    def test_bilinear_within_convex_hull(self, img, fr, fc):
+        rows, cols = img.shape
+        r = fr * (rows - 1)
+        c = fc * (cols - 1)
+        value = float(bilinear(img, r, c))
+        assert img.min() - 1e-9 <= value <= img.max() + 1e-9
+
+    @settings(max_examples=25)
+    @given(images)
+    def test_resize_preserves_range(self, img):
+        out = resize(img, 7, 9)
+        assert out.min() >= img.min() - 1e-9
+        assert out.max() <= img.max() + 1e-9
+
+    @settings(max_examples=25)
+    @given(images)
+    def test_integral_monotone_in_rectangle_growth(self, img):
+        # For non-negative images, growing the rectangle never shrinks
+        # the sum.
+        ii = integral_image(np.abs(img))
+        rows, cols = img.shape
+        small = rect_sum(ii, 0, 0, rows // 2, cols // 2)
+        large = rect_sum(ii, 0, 0, rows, cols)
+        assert large >= small - 1e-9
+
+    @settings(max_examples=25)
+    @given(images, st.integers(0, 3))
+    def test_pad_preserves_interior(self, img, amount):
+        padded = pad(img, amount, "replicate")
+        rows, cols = img.shape
+        assert np.array_equal(
+            padded[amount : amount + rows, amount : amount + cols], img
+        )
+
+    @settings(max_examples=25)
+    @given(images)
+    def test_rect_sum_additive(self, img):
+        """Splitting a rectangle in two partitions its sum."""
+        ii = integral_image(img)
+        rows, cols = img.shape
+        mid = cols // 2
+        whole = rect_sum(ii, 0, 0, rows, cols)
+        left = rect_sum(ii, 0, 0, rows, mid)
+        right = rect_sum(ii, 0, mid, rows, cols)
+        assert whole == pytest.approx(left + right, abs=1e-8)

@@ -1,0 +1,157 @@
+"""Tests for the Image Segmentation (normalized cuts) application."""
+
+import numpy as np
+import pytest
+
+from repro.core import InputSize, KernelProfiler
+from repro.core.inputs import segmentation_image
+from repro.segmentation import (
+    BENCHMARK,
+    build_affinity,
+    discretize,
+    label_purity,
+    normalized_embedding,
+    segment_image,
+    stencil_offsets,
+    working_resolution,
+)
+
+
+class TestStencil:
+    def test_offsets_within_radius(self):
+        for dy, dx in stencil_offsets(3):
+            assert dy * dy + dx * dx <= 9
+
+    def test_half_plane_no_duplicates(self):
+        offsets = stencil_offsets(2)
+        for dy, dx in offsets:
+            assert (-dy, -dx) not in offsets
+        assert (0, 0) not in offsets
+
+    def test_radius_one_is_4_connectivity_half(self):
+        assert set(stencil_offsets(1)) == {(0, 1), (1, 0)}
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            stencil_offsets(0)
+
+
+class TestAffinity:
+    def test_matvec_matches_dense(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((7, 9))
+        aff = build_affinity(img, radius=2)
+        dense = aff.dense()
+        assert np.allclose(dense, dense.T)
+        vec = rng.standard_normal(63)
+        assert np.allclose(aff.matvec(vec), dense @ vec, atol=1e-12)
+
+    def test_degrees_positive(self):
+        img = np.random.default_rng(1).random((6, 6))
+        aff = build_affinity(img, radius=1)
+        assert (aff.degrees() > 0).all()
+
+    def test_similar_pixels_weighted_higher(self):
+        img = np.zeros((4, 8))
+        img[:, 4:] = 1.0  # two flat halves
+        aff = build_affinity(img, radius=1, sigma_intensity=0.1)
+        dense = aff.dense()
+        same = dense[0, 1]  # neighbours inside the flat region
+        cross = dense[3, 4]  # neighbours across the boundary (cols 3->4)
+        assert same > 10 * cross
+
+    def test_invalid_sigmas(self):
+        with pytest.raises(ValueError):
+            build_affinity(np.ones((4, 4)), sigma_intensity=0.0)
+
+    def test_dense_refuses_large(self):
+        img = np.ones((80, 80))
+        aff = build_affinity(img, radius=1)
+        with pytest.raises(ValueError):
+            aff.dense()
+
+
+class TestEmbeddingAndDiscretize:
+    def test_embedding_shape(self):
+        img, _ = segmentation_image(InputSize.SQCIF, 0)
+        aff = build_affinity(img[:24, :32], radius=2)
+        emb = normalized_embedding(aff, 3)
+        assert emb.shape == (24 * 32, 3)
+
+    def test_trivial_two_cluster_case(self):
+        img = np.zeros((8, 16))
+        img[:, 8:] = 1.0
+        aff = build_affinity(img, radius=1, sigma_intensity=0.05)
+        emb = normalized_embedding(aff, 2)
+        labels = discretize(emb)
+        grid = labels.reshape(8, 16)
+        left = np.bincount(grid[:, :8].ravel(), minlength=2)
+        right = np.bincount(grid[:, 8:].ravel(), minlength=2)
+        # Each half should be (almost) uniformly one label, and different.
+        assert left.max() >= 60 and right.max() >= 60
+        assert left.argmax() != right.argmax()
+
+
+class TestWorkingResolution:
+    def test_no_shrink_needed(self):
+        assert working_resolution((20, 20), 2400) == (20, 20)
+
+    def test_shrinks_proportionally(self):
+        rows, cols = working_resolution((288, 352), 2400)
+        assert rows * cols <= 2400
+        assert abs(rows / cols - 288 / 352) < 0.15
+
+    def test_minimum_floor(self):
+        assert min(working_resolution((2000, 4), 100)) >= 8
+
+
+class TestSegmentImage:
+    def test_recovers_regions(self):
+        img, truth = segmentation_image(InputSize.SQCIF, 0, n_regions=4)
+        result = segment_image(img, n_segments=4)
+        assert label_purity(result.labels, truth) > 0.85
+
+    def test_other_variant(self):
+        img, truth = segmentation_image(InputSize.SQCIF, 1, n_regions=4)
+        result = segment_image(img, n_segments=4)
+        assert label_purity(result.labels, truth) > 0.8
+
+    def test_labels_full_resolution(self):
+        img, _ = segmentation_image(InputSize.SQCIF, 0)
+        result = segment_image(img, n_segments=3)
+        assert result.labels.shape == img.shape
+        assert set(np.unique(result.labels)) <= set(range(3))
+
+    def test_needs_two_segments(self):
+        with pytest.raises(ValueError):
+            segment_image(np.ones((16, 16)), n_segments=1)
+
+    def test_purity_bounds(self):
+        truth = np.array([0, 0, 1, 1])
+        assert label_purity(truth, truth) == 1.0
+        assert label_purity(np.zeros(4, dtype=int), truth) == 0.5
+
+    def test_purity_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            label_purity(np.zeros(3), np.zeros(4))
+
+
+class TestBenchmarkWiring:
+    def test_run_and_kernels(self):
+        workload = BENCHMARK.setup(InputSize.SQCIF, 0)
+        profiler = KernelProfiler()
+        with profiler.run():
+            out = BENCHMARK.run(workload, profiler)
+        assert out["purity"] > 0.8
+        for kernel in ("Adjacencymatrix", "Eigensolve", "QRfactorizations",
+                       "Filterbanks"):
+            assert kernel in profiler.kernel_seconds
+
+    def test_parallelism_modest(self):
+        rows = {r.kernel: r for r in BENCHMARK.parallelism(InputSize.SQCIF)}
+        # Eigensolve's Lanczos recurrence caps its dataflow limit well
+        # below the embarrassingly parallel filter banks.
+        assert rows["Eigensolve"].parallelism < \
+            rows["Filterbanks"].parallelism
+        assert rows["QRfactorizations"].parallelism < \
+            rows["Adjacencymatrix"].parallelism

@@ -1,0 +1,157 @@
+"""Tests for the Feature Tracking (KLT) application."""
+
+import numpy as np
+import pytest
+
+from repro.core import InputSize, KernelProfiler
+from repro.core.inputs import sequence
+from repro.tracking import (
+    BENCHMARK,
+    Feature,
+    good_features,
+    median_motion,
+    min_eigenvalue_map,
+    select_features,
+    structure_tensor_fields,
+    track_features,
+    track_sequence,
+)
+
+
+def checkerboard(shape=(64, 64), period=8):
+    r = np.arange(shape[0])[:, None] // period
+    c = np.arange(shape[1])[None, :] // period
+    return ((r + c) % 2).astype(np.float64)
+
+
+class TestStructureTensor:
+    def test_fields_shapes(self):
+        img = checkerboard()
+        sxx, sxy, syy = structure_tensor_fields(img)
+        assert sxx.shape == img.shape == sxy.shape == syy.shape
+
+    def test_diagonal_nonnegative(self):
+        img = np.random.default_rng(0).random((32, 32))
+        sxx, _sxy, syy = structure_tensor_fields(img)
+        assert (sxx >= -1e-9).all()
+        assert (syy >= -1e-9).all()
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            structure_tensor_fields(checkerboard(), window=4)
+
+    def test_constant_image_zero_tensor(self):
+        sxx, sxy, syy = structure_tensor_fields(np.full((24, 24), 0.5))
+        assert np.abs(sxx).max() < 1e-12
+        assert np.abs(syy).max() < 1e-12
+
+
+class TestMinEigenvalue:
+    def test_matches_explicit_eigensolve(self):
+        rng = np.random.default_rng(1)
+        sxx = rng.random((3, 3)) + 1.0
+        syy = rng.random((3, 3)) + 1.0
+        sxy = rng.random((3, 3)) * 0.1
+        lam = min_eigenvalue_map(sxx, sxy, syy)
+        for r in range(3):
+            for c in range(3):
+                m = np.array([[sxx[r, c], sxy[r, c]], [sxy[r, c], syy[r, c]]])
+                assert lam[r, c] == pytest.approx(
+                    np.linalg.eigvalsh(m)[0], abs=1e-10
+                )
+
+
+class TestSelectFeatures:
+    def test_corners_found_on_checkerboard(self):
+        img = checkerboard()
+        feats = good_features(img, max_features=20)
+        assert len(feats) > 5
+        # Corner rows/cols should sit near multiples of the period.
+        for f in feats:
+            assert (f.row % 8 < 3) or (f.row % 8 > 5)
+
+    def test_min_distance_respected(self):
+        img = checkerboard()
+        feats = good_features(img, max_features=30, min_distance=6)
+        for i, a in enumerate(feats):
+            for b in feats[i + 1 :]:
+                assert max(abs(a.row - b.row), abs(a.col - b.col)) > 5
+
+    def test_max_features_cap(self):
+        img = checkerboard()
+        feats = good_features(img, max_features=4)
+        assert len(feats) <= 4
+
+    def test_blank_image_no_features(self):
+        assert good_features(np.zeros((32, 32))) == []
+
+    def test_scores_sorted_descending(self):
+        img = checkerboard()
+        feats = good_features(img, max_features=10)
+        scores = [f.score for f in feats]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_max_features(self):
+        with pytest.raises(ValueError):
+            select_features(np.ones((8, 8)), max_features=0)
+
+
+class TestTracking:
+    def test_recovers_integer_shift(self):
+        seq = sequence(InputSize.SQCIF, 0, n_frames=2)
+        feats = good_features(seq.frames[0], max_features=30)
+        tracks = track_features(seq.frames[0], seq.frames[1], feats)
+        converged = [t for t in tracks if t.converged]
+        assert len(converged) > len(tracks) // 2
+        dy, dx = median_motion(converged)
+        assert dy == pytest.approx(seq.true_motion[0], abs=0.1)
+        assert dx == pytest.approx(seq.true_motion[1], abs=0.1)
+
+    def test_zero_motion(self):
+        img = checkerboard()
+        feats = good_features(img, max_features=10)
+        tracks = track_features(img, img, feats)
+        for t in tracks:
+            if t.converged:
+                assert abs(t.motion[0]) < 0.05
+                assert abs(t.motion[1]) < 0.05
+
+    def test_track_sequence_pairs(self):
+        seq = sequence(InputSize.SQCIF, 1, n_frames=4)
+        all_tracks = track_sequence(seq.frames, max_features=16)
+        assert len(all_tracks) == 3
+
+    def test_sequence_needs_two_frames(self):
+        with pytest.raises(ValueError):
+            track_sequence([np.ones((16, 16))])
+
+    def test_frame_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            track_features(np.ones((8, 8)), np.ones((8, 9)), [])
+
+    def test_median_motion_empty(self):
+        with pytest.raises(ValueError):
+            median_motion([])
+
+
+class TestBenchmarkWiring:
+    def test_run_recovers_motion(self):
+        workload = BENCHMARK.setup(InputSize.SQCIF, 0)
+        profiler = KernelProfiler()
+        with profiler.run():
+            out = BENCHMARK.run(workload, profiler)
+        assert out["converged"] > 0
+        dy, dx = out["median_motion"]
+        true_dy, true_dx = out["true_motion"]
+        assert abs(dy - true_dy) < 0.25
+        assert abs(dx - true_dx) < 0.25
+        for kernel in ("Gradient", "GaussianFilter", "IntegralImage",
+                       "AreaSum", "MatrixInversion"):
+            assert kernel in profiler.kernel_seconds
+
+    def test_parallelism_ordering(self):
+        rows = {r.kernel: r for r in BENCHMARK.parallelism(InputSize.SQCIF)}
+        # Matrix inversion tops tracking's Table IV rows.
+        assert rows["MatrixInversion"].parallelism > \
+            rows["Gradient"].parallelism
+        assert rows["IntegralImage"].parallelism > rows["Gradient"].parallelism
