@@ -22,14 +22,25 @@ ALL_SLUGS = tuple(b.slug for b in all_benchmarks())
 RESULTS: Dict[str, SuiteResult] = {}
 
 
+#: Applications cheap enough to measure twice per size; the rest stay
+#: single-shot to keep the harness runtime in check.
+_LIGHT_SLUGS = {"disparity", "tracking", "stitch", "svm", "face", "texture"}
+
+
 @pytest.mark.parametrize("slug", ALL_SLUGS)
 def test_fig3_profile(benchmark, slug):
     bench = get_benchmark(slug)
+    repeats = 2 if slug in _LIGHT_SLUGS else 1
 
     def profile_all_sizes() -> SuiteResult:
+        # Aggregated path: each (size) cell is the median of ``repeats``
+        # runs, so the occupancy bars in figure3.txt are stable across
+        # harness invocations.
         result = SuiteResult()
         for size in ALL_SIZES:
-            result.runs.append(run_benchmark(bench, size, variant=0))
+            result.runs.append(
+                run_benchmark(bench, size, variant=0, repeats=repeats)
+            )
         return result
 
     result = benchmark.pedantic(profile_all_sizes, rounds=1, iterations=1,
@@ -39,6 +50,8 @@ def test_fig3_profile(benchmark, slug):
         occupancy = result.mean_occupancy(slug, size)
         # Kernel attribution covers the majority of the runtime.
         assert occupancy[NON_KERNEL_WORK] < 50.0
+        # The rescaled occupancy always closes the 100% budget.
+        assert sum(occupancy.values()) == pytest.approx(100.0, abs=1e-9)
 
 
 def test_fig3_render_and_shape(benchmark, artifacts):

@@ -17,10 +17,12 @@ Quick start::
 
 from .core import (
     ALL_SIZES,
+    AggregatedRun,
     Benchmark,
     BenchmarkRun,
     InputSize,
     KernelProfiler,
+    RunStats,
     SuiteResult,
     all_benchmarks,
     get_benchmark,
@@ -41,10 +43,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_SIZES",
+    "AggregatedRun",
     "Benchmark",
     "BenchmarkRun",
     "InputSize",
     "KernelProfiler",
+    "RunStats",
     "SuiteResult",
     "__version__",
     "all_benchmarks",

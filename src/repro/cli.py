@@ -8,6 +8,12 @@ Subcommands::
     sdvbs figure2 [--variants N]    # input-size scaling series
     sdvbs figure3 [slugs...]        # kernel occupancy per size
     sdvbs table4                    # critical-path parallelism
+    sdvbs compare base.json cand.json   # median speedups + noise verdicts
+
+``run``/``figure2``/``figure3`` accept the robust-measurement knobs
+``--repeats N`` (retained runs per cell, aggregated into
+min/median/mean/stddev), ``--warmup N`` (discarded runs) and ``--jobs N``
+(worker processes across the benchmark grid).
 """
 
 from __future__ import annotations
@@ -28,10 +34,38 @@ from .core.report import (
 )
 
 
-def _parse_sizes(names: Optional[List[str]]) -> List[InputSize]:
+def _size_arg(name: str) -> InputSize:
+    """Case-insensitive ``--sizes`` converter with a clean error.
+
+    argparse turns the ``ArgumentTypeError`` into a usage message and
+    exit status 2 instead of a raw ``KeyError`` traceback.
+    """
+    try:
+        return InputSize[name.upper()]
+    except KeyError:
+        choices = ", ".join(size.name for size in InputSize)
+        raise argparse.ArgumentTypeError(
+            f"invalid size {name!r} (choose from {choices})"
+        ) from None
+
+
+def _parse_sizes(names: Optional[List[InputSize]]) -> List[InputSize]:
     if not names:
         return list(InputSize)
-    return [InputSize[name.upper()] for name in names]
+    return list(names)
+
+
+def _add_measurement_flags(parser: argparse.ArgumentParser) -> None:
+    """The robust-runner knobs shared by run/figure2/figure3."""
+    parser.add_argument("--repeats", type=int, default=1, metavar="N",
+                        help="measured runs per (benchmark, size, variant) "
+                        "cell; results report min/median/mean/stddev "
+                        "(default: 1)")
+    parser.add_argument("--warmup", type=int, default=0, metavar="N",
+                        help="discarded warmup runs per cell (default: 0)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the benchmark grid; 1 "
+                        "runs serially (default: 1)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -51,19 +85,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("slugs", nargs="*", help="benchmark slugs "
                             "(default: all)")
     run_parser.add_argument("--sizes", nargs="*", metavar="SIZE",
-                            help="SQCIF/QCIF/CIF (default: all)")
+                            type=_size_arg,
+                            help="SQCIF/QCIF/CIF, case-insensitive "
+                            "(default: all)")
     run_parser.add_argument("--variants", type=int, default=1,
                             help="input variants per size (1-5)")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the raw result as JSON instead of "
                             "the text reports")
+    _add_measurement_flags(run_parser)
 
     fig2_parser = sub.add_parser("figure2", help="execution-time scaling")
     fig2_parser.add_argument("--variants", type=int, default=1)
+    _add_measurement_flags(fig2_parser)
 
     fig3_parser = sub.add_parser("figure3", help="kernel occupancy")
     fig3_parser.add_argument("slugs", nargs="*")
     fig3_parser.add_argument("--variants", type=int, default=1)
+    _add_measurement_flags(fig3_parser)
 
     compare_parser = sub.add_parser(
         "compare",
@@ -89,10 +128,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     variants = list(range(max(1, min(5, getattr(args, "variants", 1)))))
+    measurement = {
+        "warmup": max(0, getattr(args, "warmup", 0)),
+        "repeats": max(1, getattr(args, "repeats", 1)),
+        "jobs": max(1, getattr(args, "jobs", 1)),
+    }
     if args.command == "run":
         slugs = args.slugs or None
         sizes = _parse_sizes(args.sizes)
-        result = run_suite(slugs, sizes=sizes, variants=variants)
+        result = run_suite(slugs, sizes=sizes, variants=variants,
+                           **measurement)
         if args.json:
             from .core.export import result_to_json
 
@@ -104,12 +149,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "figure2":
         slugs = [b.slug for b in all_benchmarks() if b.in_figure2]
-        result = run_suite(slugs, variants=variants)
-        print(render_figure2(result))
+        result = run_suite(slugs, variants=variants, **measurement)
+        print(render_figure2(result, show_noise=measurement["repeats"] > 1))
         return 0
     if args.command == "figure3":
         slugs = args.slugs or None
-        result = run_suite(slugs, variants=variants)
+        result = run_suite(slugs, variants=variants, **measurement)
         print(render_figure3(result))
         return 0
     if args.command == "compare":

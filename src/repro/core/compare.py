@@ -18,12 +18,19 @@ from .types import NON_KERNEL_WORK, InputSize, SuiteResult
 
 @dataclass(frozen=True)
 class SpeedupEntry:
-    """One benchmark/size comparison."""
+    """One benchmark/size comparison.
+
+    ``baseline_seconds``/``candidate_seconds`` are medians (per-cell
+    repeat medians, then the median over variants); the stddevs are the
+    recorded measurement noise, 0.0 for single-shot runs.
+    """
 
     benchmark: str
     size: InputSize
     baseline_seconds: float
     candidate_seconds: float
+    baseline_stddev: float = 0.0
+    candidate_stddev: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -31,17 +38,31 @@ class SpeedupEntry:
             return float("inf")
         return self.baseline_seconds / self.candidate_seconds
 
+    @property
+    def noise(self) -> float:
+        """Combined measurement noise of the two sides (seconds)."""
+        return (self.baseline_stddev ** 2 + self.candidate_stddev ** 2) ** 0.5
+
+    def is_significant(self, sigmas: float = 2.0) -> bool:
+        """Whether the runtime change exceeds the recorded noise.
+
+        Single-shot runs carry no noise estimate, so any change counts as
+        significant (the historical behavior).
+        """
+        delta = abs(self.baseline_seconds - self.candidate_seconds)
+        return delta > sigmas * self.noise
+
 
 def speedups(baseline: SuiteResult,
              candidate: SuiteResult) -> List[SpeedupEntry]:
-    """Per-(benchmark, size) speedups over the shared run set."""
+    """Per-(benchmark, size) median speedups over the shared run set."""
     entries: List[SpeedupEntry] = []
     for slug in baseline.benchmarks():
         if slug not in candidate.benchmarks():
             continue
         for size in InputSize:
-            base = baseline.mean_total(slug, size)
-            cand = candidate.mean_total(slug, size)
+            base = baseline.median_total(slug, size)
+            cand = candidate.median_total(slug, size)
             if base is None or cand is None:
                 continue
             entries.append(
@@ -50,6 +71,8 @@ def speedups(baseline: SuiteResult,
                     size=size,
                     baseline_seconds=base,
                     candidate_seconds=cand,
+                    baseline_stddev=baseline.total_stddev(slug, size) or 0.0,
+                    candidate_stddev=candidate.total_stddev(slug, size) or 0.0,
                 )
             )
     return entries
@@ -93,8 +116,12 @@ def render_comparison(
     entries = speedups(baseline, candidate)
     if not entries:
         return "no comparable runs"
-    rows: List[Tuple[str, str, str, str, str]] = []
+    rows: List[Tuple[str, str, str, str, str, str]] = []
     for entry in entries:
+        if entry.noise > 0.0 and not entry.is_significant():
+            verdict = "within noise"
+        else:
+            verdict = "yes"
         rows.append(
             (
                 entry.benchmark,
@@ -102,10 +129,12 @@ def render_comparison(
                 f"{entry.baseline_seconds * 1000:.1f} ms",
                 f"{entry.candidate_seconds * 1000:.1f} ms",
                 f"{entry.speedup:.2f}x",
+                verdict,
             )
         )
     table = format_table(
-        ("Benchmark", "Size", baseline_label, candidate_label, "Speedup"),
+        ("Benchmark", "Size", baseline_label, candidate_label, "Speedup",
+         "Significant"),
         rows,
         title=f"Suite comparison: {candidate_label} vs {baseline_label}",
     )

@@ -4,19 +4,58 @@ Architecture studies consume profiles programmatically; this module
 flattens :class:`~repro.core.types.SuiteResult` into plain dictionaries
 (JSON-ready) and back, so runs can be stored, diffed and post-processed
 outside this package.
+
+Schema history:
+
+* ``sdvbs-repro/suite-result/v1`` — single-shot runs: per-run totals,
+  kernel seconds/calls, occupancy, stringified outputs.
+* ``sdvbs-repro/suite-result/v2`` (current) — adds the repeat statistics
+  recorded by the robust runner: per-run ``stats`` with ``warmup`` and
+  min/median/mean/stddev + raw samples for the total and every kernel.
+  v1 payloads remain readable (their runs carry no ``stats``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from .types import BenchmarkRun, InputSize, SuiteResult
+from .types import AggregatedRun, BenchmarkRun, InputSize, RunStats, SuiteResult
+
+SCHEMA_V1 = "sdvbs-repro/suite-result/v1"
+SCHEMA_V2 = "sdvbs-repro/suite-result/v2"
+#: Schema written by :func:`result_to_dict`.
+CURRENT_SCHEMA = SCHEMA_V2
+#: Schemas :func:`result_from_dict` accepts.
+READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2)
+
+
+def _stats_to_dict(stats: AggregatedRun) -> Dict[str, object]:
+    return {
+        "warmup": stats.warmup,
+        "repeats": stats.repeats,
+        "total": stats.total.to_dict(),
+        "kernels": {name: s.to_dict() for name, s in stats.kernels.items()},
+    }
+
+
+def _stats_from_dict(run: BenchmarkRun,
+                     payload: Dict[str, object]) -> AggregatedRun:
+    kernels: Dict[str, Dict[str, object]] = payload.get("kernels", {})  # type: ignore[assignment]
+    return AggregatedRun(
+        benchmark=run.benchmark,
+        size=run.size,
+        variant=run.variant,
+        warmup=int(payload.get("warmup", 0)),  # type: ignore[arg-type]
+        total=RunStats.from_dict(payload["total"]),  # type: ignore[arg-type]
+        kernels={name: RunStats.from_dict(s) for name, s in kernels.items()},
+        kernel_calls=dict(run.kernel_calls),
+    )
 
 
 def run_to_dict(run: BenchmarkRun) -> Dict[str, object]:
     """Flatten one run; outputs are stringified for JSON safety."""
-    return {
+    payload: Dict[str, object] = {
         "benchmark": run.benchmark,
         "size": run.size.name,
         "variant": run.variant,
@@ -26,12 +65,15 @@ def run_to_dict(run: BenchmarkRun) -> Dict[str, object]:
         "occupancy": run.occupancy(),
         "outputs": {key: repr(value) for key, value in run.outputs.items()},
     }
+    if run.stats is not None:
+        payload["stats"] = _stats_to_dict(run.stats)
+    return payload
 
 
 def result_to_dict(result: SuiteResult) -> Dict[str, object]:
     """Flatten a whole suite result into a JSON-ready dictionary."""
     return {
-        "schema": "sdvbs-repro/suite-result/v1",
+        "schema": CURRENT_SCHEMA,
         "runs": [run_to_dict(run) for run in result.runs],
     }
 
@@ -44,26 +86,30 @@ def result_to_json(result: SuiteResult, indent: int = 2) -> str:
 def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     """Rebuild a :class:`SuiteResult` from :func:`result_to_dict` output.
 
-    ``outputs`` are not round-tripped (they were stringified); everything
-    the reports need — timings and attribution — is restored exactly.
+    Accepts both the current v2 schema and legacy v1 payloads (whose runs
+    simply carry no repeat statistics).  ``outputs`` are not round-tripped
+    (they were stringified); everything the reports need — timings,
+    attribution and measurement statistics — is restored exactly.
     """
     schema = payload.get("schema")
-    if schema != "sdvbs-repro/suite-result/v1":
+    if schema not in READABLE_SCHEMAS:
         raise ValueError(f"unsupported schema {schema!r}")
     result = SuiteResult()
     runs: List[Dict[str, object]] = payload["runs"]  # type: ignore[assignment]
     for entry in runs:
-        result.runs.append(
-            BenchmarkRun(
-                benchmark=str(entry["benchmark"]),
-                size=InputSize[str(entry["size"])],
-                variant=int(entry["variant"]),  # type: ignore[arg-type]
-                total_seconds=float(entry["total_seconds"]),  # type: ignore[arg-type]
-                kernel_seconds=dict(entry["kernel_seconds"]),  # type: ignore[arg-type]
-                kernel_calls=dict(entry["kernel_calls"]),  # type: ignore[arg-type]
-                outputs=dict(entry.get("outputs", {})),  # type: ignore[arg-type]
-            )
+        run = BenchmarkRun(
+            benchmark=str(entry["benchmark"]),
+            size=InputSize[str(entry["size"])],
+            variant=int(entry["variant"]),  # type: ignore[arg-type]
+            total_seconds=float(entry["total_seconds"]),  # type: ignore[arg-type]
+            kernel_seconds=dict(entry["kernel_seconds"]),  # type: ignore[arg-type]
+            kernel_calls=dict(entry["kernel_calls"]),  # type: ignore[arg-type]
+            outputs=dict(entry.get("outputs", {})),  # type: ignore[arg-type]
         )
+        stats_payload: Optional[Dict[str, object]] = entry.get("stats")  # type: ignore[assignment]
+        if stats_payload is not None:
+            run.stats = _stats_from_dict(run, stats_payload)
+        result.runs.append(run)
     return result
 
 

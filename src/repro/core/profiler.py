@@ -120,6 +120,10 @@ class NullProfiler(KernelProfiler):
     """Profiler that records nothing; used when callers pass ``None``.
 
     Keeps the kernel annotations in application code free of ``if`` guards.
+    Because :func:`ensure_profiler` hands out one shared instance, every
+    inherited mutating path (``start``/``stop``/``run``/``kernel``/
+    ``reset``) is overridden to a stateless no-op — concurrent users can
+    never observe each other through it.
     """
 
     @contextmanager
@@ -132,9 +136,22 @@ class NullProfiler(KernelProfiler):
     def stop(self) -> float:  # noqa: D102
         return 0.0
 
+    @contextmanager
+    def run(self) -> Iterator["KernelProfiler"]:  # noqa: D102
+        yield self
+
+    def reset(self) -> None:  # noqa: D102
+        pass
+
+
+#: The shared no-op profiler handed out by :func:`ensure_profiler`.  A
+#: single module-level instance is safe because NullProfiler holds no
+#: mutable state reachable through its public API.
+_NULL_PROFILER = NullProfiler()
+
 
 def ensure_profiler(profiler: Optional[KernelProfiler]) -> KernelProfiler:
-    """Return ``profiler`` or a shared no-op profiler when ``None``."""
+    """Return ``profiler`` or the shared no-op profiler when ``None``."""
     if profiler is None:
-        return NullProfiler()
+        return _NULL_PROFILER
     return profiler

@@ -78,8 +78,14 @@ def render_table3() -> str:
 
 
 def render_figure2(result: SuiteResult,
-                   slugs: Optional[Sequence[str]] = None) -> str:
-    """Figure 2: relative execution time at relative sizes 1x / 2x / 4x."""
+                   slugs: Optional[Sequence[str]] = None,
+                   show_noise: bool = False) -> str:
+    """Figure 2: relative execution time at relative sizes 1x / 2x / 4x.
+
+    Series are built from medians (robust to one slow run).  With
+    ``show_noise=True`` every cell carries a ``±`` half-width derived from
+    the recorded repeat stddev, normalized like the cell itself.
+    """
     if slugs is None:
         slugs = [b.slug for b in all_benchmarks() if b.in_figure2]
     headers = ["Benchmark"] + [f"{s.relative}x ({s.name})" for s in ALL_SIZES]
@@ -87,13 +93,23 @@ def render_figure2(result: SuiteResult,
     for slug in slugs:
         series = scaling_series(result, slug)
         by_size = {p.relative_size: p.relative_time for p in series}
-        rows.append(
-            [slug]
-            + [
-                f"{by_size[size.relative]:.2f}x" if size.relative in by_size else "-"
-                for size in ALL_SIZES
-            ]
-        )
+        base = None
+        if series:
+            base_relative = min(p.relative_size for p in series)
+            for size in ALL_SIZES:
+                if size.relative == base_relative:
+                    base = result.median_total(slug, size)
+        cells = []
+        for size in ALL_SIZES:
+            if size.relative not in by_size:
+                cells.append("-")
+                continue
+            text = f"{by_size[size.relative]:.2f}x"
+            if show_noise and base:
+                stddev = result.total_stddev(slug, size) or 0.0
+                text += f" ±{stddev / base:.2f}"
+            cells.append(text)
+        rows.append([slug] + cells)
     return format_table(
         headers, rows,
         title="Figure 2. Execution time versus input size (normalized to SQCIF)",
@@ -178,15 +194,21 @@ def _format_parallelism(value: float) -> str:
 
 
 def render_suite_summary(result: SuiteResult) -> str:
-    """Wall-time summary of every run in ``result``."""
+    """Wall-time summary of every run in ``result``.
+
+    Runs measured with repeats show the median with a ``±`` stddev.
+    """
     rows = []
     for run in result.runs:
+        wall = f"{run.total_seconds * 1000:.1f} ms"
+        if run.stats is not None and run.stats.repeats > 1:
+            wall += f" ±{run.stats.total.stddev * 1000:.1f}"
         rows.append(
             (
                 run.benchmark,
                 run.size.name,
                 str(run.variant),
-                f"{run.total_seconds * 1000:.1f} ms",
+                wall,
                 f"{100.0 - run.occupancy().get(NON_KERNEL_WORK, 0.0):.0f}%",
             )
         )

@@ -4,86 +4,273 @@ Drives each :class:`~repro.core.registry.Benchmark` through its synthetic
 inputs with a fresh :class:`~repro.core.profiler.KernelProfiler` per run and
 collects :class:`~repro.core.types.BenchmarkRun` records.  The reports in
 :mod:`repro.core.report` turn those records into the paper's figures.
+
+Measurement robustness (the suite's reason to exist is trustworthy
+per-kernel timing):
+
+* ``run_benchmark`` accepts ``warmup`` (discarded runs) and ``repeats``
+  (retained runs); the retained samples are aggregated into
+  min/median/mean/stddev per total and per kernel
+  (:class:`~repro.core.types.AggregatedRun`), and the returned
+  :class:`~repro.core.types.BenchmarkRun` carries the medians plus the
+  full statistics on its ``stats`` field.
+* ``run_suite`` accepts ``jobs``; with ``jobs > 1`` the
+  (benchmark, size, variant) grid fans out across a
+  ``ProcessPoolExecutor`` with deterministic result ordering.  ``jobs=1``
+  is the plain serial loop, and the parallel path falls back to serial
+  when process pools are unavailable (restricted environments).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import warnings
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .profiler import KernelProfiler
 from .registry import Benchmark, all_benchmarks, get_benchmark
-from .types import BenchmarkRun, InputSize, ScalingPoint, SuiteResult
+from .types import (
+    AggregatedRun,
+    BenchmarkRun,
+    InputSize,
+    RunStats,
+    ScalingPoint,
+    SuiteResult,
+)
 
 ALL_SIZES = (InputSize.SQCIF, InputSize.QCIF, InputSize.CIF)
+
+#: Injectable clock type for deterministic tests.
+Clock = Callable[[], float]
+
+
+def _measure_once(
+    benchmark: Benchmark,
+    workload: object,
+    clock: Optional[Clock],
+) -> Tuple[KernelProfiler, dict]:
+    """One timed execution of ``benchmark`` on a prepared workload."""
+    profiler = KernelProfiler(clock=clock)
+    with profiler.run():
+        outputs = benchmark.run(workload, profiler)
+    return profiler, dict(outputs)
 
 
 def run_benchmark(
     benchmark: Benchmark,
     size: InputSize,
     variant: int = 0,
+    warmup: int = 0,
+    repeats: int = 1,
+    clock: Optional[Clock] = None,
 ) -> BenchmarkRun:
-    """Run one application once and return its timed record.
+    """Run one application and return its timed record.
 
     Workload construction (``benchmark.setup``) happens outside the timed
-    region, mirroring the original suite's preloaded inputs.
+    region, mirroring the original suite's preloaded inputs.  The first
+    ``warmup`` executions are discarded (cold caches, allocator churn,
+    JIT-warmed numpy paths); the next ``repeats`` executions are retained
+    and aggregated.  The returned record's ``total_seconds`` and
+    ``kernel_seconds`` are per-cell medians and its ``stats`` field holds
+    the full :class:`AggregatedRun`; with the defaults
+    (``warmup=0, repeats=1``) the medians are the single cold sample,
+    bit-identical to the historical single-shot behavior.
+
+    ``clock`` injects a deterministic time source for tests.
     """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
     workload = benchmark.setup(size, variant)
-    profiler = KernelProfiler()
-    with profiler.run():
-        outputs = benchmark.run(workload, profiler)
+    for _ in range(warmup):
+        _measure_once(benchmark, workload, clock)
+
+    total_samples: List[float] = []
+    kernel_samples: dict = {}
+    kernel_calls: dict = {}
+    outputs: dict = {}
+    for index in range(repeats):
+        profiler, outputs = _measure_once(benchmark, workload, clock)
+        total_samples.append(profiler.total_seconds)
+        seconds = profiler.kernel_seconds
+        for name, value in seconds.items():
+            kernel_samples.setdefault(name, []).append(value)
+        if index == 0:
+            kernel_calls = profiler.kernel_calls
+        elif profiler.kernel_calls != kernel_calls:
+            warnings.warn(
+                f"{benchmark.slug}@{size.name} variant {variant}: kernel "
+                "call counts differ between repeats; keeping the first run's",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    # A kernel observed in only some repeats (data-dependent path) gets
+    # zero-second samples for the runs that skipped it, so every kernel's
+    # RunStats spans all repeats.
+    for name, samples in kernel_samples.items():
+        if len(samples) < repeats:
+            samples.extend([0.0] * (repeats - len(samples)))
+
+    stats = AggregatedRun(
+        benchmark=benchmark.slug,
+        size=size,
+        variant=variant,
+        warmup=warmup,
+        total=RunStats.of(total_samples),
+        kernels={name: RunStats.of(s) for name, s in kernel_samples.items()},
+        kernel_calls=dict(kernel_calls),
+    )
     return BenchmarkRun(
         benchmark=benchmark.slug,
         size=size,
         variant=variant,
-        total_seconds=profiler.total_seconds,
-        kernel_seconds=profiler.kernel_seconds,
-        kernel_calls=profiler.kernel_calls,
-        outputs=dict(outputs),
+        total_seconds=stats.total.median,
+        kernel_seconds={k: s.median for k, s in stats.kernels.items()},
+        kernel_calls=dict(kernel_calls),
+        outputs=outputs,
+        stats=stats,
     )
+
+
+def _run_cell(
+    slug: str,
+    size_name: str,
+    variant: int,
+    warmup: int,
+    repeats: int,
+) -> BenchmarkRun:
+    """Worker entry point: one grid cell, addressed by picklable keys.
+
+    Module-level (not a closure) so ``ProcessPoolExecutor`` can pickle it;
+    the benchmark registry re-loads lazily inside each worker process.
+    """
+    run = run_benchmark(
+        get_benchmark(slug),
+        InputSize[size_name],
+        variant,
+        warmup=warmup,
+        repeats=repeats,
+    )
+    # Outputs may hold arbitrarily large (or unpicklable) application
+    # objects; the suite reports only consume timing, so drop them before
+    # shipping results back over the pipe.
+    run.outputs = {}
+    return run
 
 
 def run_suite(
     slugs: Optional[Sequence[str]] = None,
     sizes: Iterable[InputSize] = ALL_SIZES,
     variants: Sequence[int] = (0,),
+    warmup: int = 0,
+    repeats: int = 1,
+    jobs: int = 1,
 ) -> SuiteResult:
     """Run the selected applications over ``sizes`` x ``variants``.
 
     ``slugs=None`` runs the whole suite.  The default single variant keeps
     interactive runs fast; the paper's 65-vector sweep corresponds to
     ``variants=range(5)``.
+
+    ``jobs > 1`` fans the (benchmark, size, variant) grid across worker
+    processes.  Result ordering is deterministic and identical to the
+    serial nested-loop order regardless of which worker finishes first.
+    If a process pool cannot be created or breaks (sandboxed platforms,
+    missing semaphores), the runner warns and falls back to the serial
+    path rather than failing the measurement.
     """
     if slugs is None:
         benchmarks = all_benchmarks()
     else:
         benchmarks = [get_benchmark(slug) for slug in slugs]
+    sizes = list(sizes)
+    grid = [
+        (benchmark, size, variant)
+        for benchmark in benchmarks
+        for size in sizes
+        for variant in variants
+    ]
     result = SuiteResult()
-    for benchmark in benchmarks:
-        for size in sizes:
-            for variant in variants:
-                result.runs.append(run_benchmark(benchmark, size, variant))
+    if jobs > 1 and len(grid) > 1:
+        runs = _run_grid_parallel(grid, warmup, repeats, jobs)
+        if runs is not None:
+            result.runs.extend(runs)
+            return result
+        warnings.warn(
+            "process pool unavailable; falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    for benchmark, size, variant in grid:
+        result.runs.append(
+            run_benchmark(benchmark, size, variant,
+                          warmup=warmup, repeats=repeats)
+        )
     return result
+
+
+def _run_grid_parallel(
+    grid: Sequence[Tuple[Benchmark, InputSize, int]],
+    warmup: int,
+    repeats: int,
+    jobs: int,
+) -> Optional[List[BenchmarkRun]]:
+    """Execute the grid on a process pool; ``None`` if the pool fails."""
+    import concurrent.futures
+
+    max_workers = min(jobs, len(grid))
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            futures = [
+                pool.submit(_run_cell, benchmark.slug, size.name, variant,
+                            warmup, repeats)
+                for benchmark, size, variant in grid
+            ]
+            # Collect in submission order: deterministic results no matter
+            # the completion order of the workers.
+            return [future.result() for future in futures]
+    except (OSError, ImportError,
+            concurrent.futures.process.BrokenProcessPool):
+        return None
 
 
 def scaling_series(result: SuiteResult, slug: str) -> List[ScalingPoint]:
     """Figure 2 series for one application: relative time vs relative size.
 
-    Times are normalized to the SQCIF mean, matching the paper's
-    "times increase in execution time" y-axis.
+    Times are normalized to the SQCIF median, matching the paper's
+    "times increase in execution time" y-axis.  When SQCIF was not part
+    of the run, the series falls back to normalizing against the smallest
+    size present (with a warning) instead of silently returning nothing.
     """
-    base = result.mean_total(slug, InputSize.SQCIF)
+    present = [
+        size for size in ALL_SIZES
+        if result.median_total(slug, size) is not None
+    ]
+    if not present:
+        return []
+    base_size = present[0]
+    if base_size is not InputSize.SQCIF:
+        warnings.warn(
+            f"{slug}: no SQCIF runs to normalize against; normalizing "
+            f"Figure 2 to the smallest size present ({base_size.name})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    base = result.median_total(slug, base_size)
     if base is None or base <= 0:
         return []
     points = []
-    for size in ALL_SIZES:
-        mean = result.mean_total(slug, size)
-        if mean is None:
+    for size in present:
+        median = result.median_total(slug, size)
+        if median is None:
             continue
         points.append(
             ScalingPoint(
                 benchmark=slug,
                 relative_size=size.relative,
-                relative_time=mean / base,
+                relative_time=median / base,
             )
         )
     return points

@@ -9,8 +9,9 @@ Table IV.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 class InputSize(enum.Enum):
@@ -124,6 +125,109 @@ class KernelSample:
 NON_KERNEL_WORK = "NonKernelWork"
 
 
+@dataclass(frozen=True)
+class RunStats:
+    """Statistics over repeated measurements of one quantity (seconds).
+
+    The suite driver measures every (benchmark, size, variant) cell
+    ``repeats`` times after ``warmup`` discarded runs; this type holds the
+    retained samples and the aggregates the reports consume.  ``median``
+    is the headline number (robust to a single slow outlier), ``stddev``
+    is the sample standard deviation used to flag changes outside noise.
+    """
+
+    samples: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("RunStats requires at least one sample")
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "RunStats":
+        return cls(samples=tuple(float(s) for s in samples))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def min(self) -> float:
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def median(self) -> float:
+        ordered = sorted(self.samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (0.0 for a single sample)."""
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1)
+        return math.sqrt(var)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "samples": list(self.samples),
+            "min": self.min,
+            "median": self.median,
+            "mean": self.mean,
+            "stddev": self.stddev,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunStats":
+        return cls.of(payload["samples"])  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class AggregatedRun:
+    """Repeated measurements of one (benchmark, size, variant) cell.
+
+    ``total`` aggregates whole-application wall time; ``kernels`` holds a
+    :class:`RunStats` per named kernel.  ``kernel_calls`` come from the
+    first retained run (they are deterministic per workload and checked
+    for consistency by the runner).
+    """
+
+    benchmark: str
+    size: "InputSize"
+    variant: int
+    warmup: int
+    total: RunStats
+    kernels: Dict[str, RunStats] = field(default_factory=dict)
+    kernel_calls: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def repeats(self) -> int:
+        return self.total.count
+
+    def representative(self) -> "BenchmarkRun":
+        """The median-based :class:`BenchmarkRun` the reports consume."""
+        return BenchmarkRun(
+            benchmark=self.benchmark,
+            size=self.size,
+            variant=self.variant,
+            total_seconds=self.total.median,
+            kernel_seconds={k: s.median for k, s in self.kernels.items()},
+            kernel_calls=dict(self.kernel_calls),
+            stats=self,
+        )
+
+
 @dataclass
 class BenchmarkRun:
     """Result of one application run on one input.
@@ -142,21 +246,29 @@ class BenchmarkRun:
     kernel_seconds: Dict[str, float] = field(default_factory=dict)
     kernel_calls: Dict[str, int] = field(default_factory=dict)
     outputs: Mapping[str, object] = field(default_factory=dict)
+    #: Full repeat statistics when the run was measured with ``repeats>1``;
+    #: ``total_seconds``/``kernel_seconds`` are then the per-cell medians.
+    stats: Optional[AggregatedRun] = None
 
     def occupancy(self) -> Dict[str, float]:
         """Percentage of total runtime per kernel, plus non-kernel work.
 
-        Matches the y-axis of the paper's Figure 3.
+        Matches the y-axis of the paper's Figure 3.  Shares always sum to
+        exactly 100%: when attributed kernel time exceeds the measured
+        wall time (profiler overhead can skew either side), the kernel
+        shares are rescaled onto the 100% budget instead of summing past
+        it, and ``NonKernelWork`` is never negative.
         """
         if self.total_seconds <= 0.0:
             return {NON_KERNEL_WORK: 100.0}
+        attributed = sum(self.kernel_seconds.values())
+        denominator = max(self.total_seconds, attributed)
         shares = {
-            name: 100.0 * seconds / self.total_seconds
+            name: 100.0 * seconds / denominator
             for name, seconds in self.kernel_seconds.items()
         }
-        attributed = sum(self.kernel_seconds.values())
-        residual = max(0.0, self.total_seconds - attributed)
-        shares[NON_KERNEL_WORK] = 100.0 * residual / self.total_seconds
+        residual = max(0.0, denominator - attributed)
+        shares[NON_KERNEL_WORK] = 100.0 * residual / denominator
         return shares
 
 
@@ -207,6 +319,38 @@ class SuiteResult:
         if not times:
             return None
         return sum(times) / len(times)
+
+    def median_total(self, benchmark: str, size: InputSize) -> Optional[float]:
+        """Median wall time over variants for one benchmark at one size.
+
+        Each run's ``total_seconds`` is already the per-cell median when
+        it was measured with repeats, so this is a median of medians —
+        the robust headline the figures and comparisons use.
+        """
+        times = [
+            run.total_seconds
+            for run in self.runs
+            if run.benchmark == benchmark and run.size == size
+        ]
+        if not times:
+            return None
+        return RunStats.of(times).median
+
+    def total_stddev(self, benchmark: str, size: InputSize) -> Optional[float]:
+        """Measurement noise for one benchmark/size cell.
+
+        Combines the recorded per-run repeat stddevs (root-sum-square of
+        the per-variant values, scaled to one variant); runs without
+        repeat statistics contribute zero.
+        """
+        stds = [
+            run.stats.total.stddev if run.stats is not None else 0.0
+            for run in self.runs
+            if run.benchmark == benchmark and run.size == size
+        ]
+        if not stds:
+            return None
+        return math.sqrt(sum(s * s for s in stds) / len(stds))
 
     def mean_occupancy(self, benchmark: str, size: InputSize) -> Dict[str, float]:
         """Mean per-kernel occupancy over variants (Figure 3 bars)."""

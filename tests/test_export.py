@@ -34,8 +34,39 @@ class TestRoundTrip:
     def test_json_is_valid(self):
         text = result_to_json(small_result())
         payload = json.loads(text)
-        assert payload["schema"] == "sdvbs-repro/suite-result/v1"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v2"
         assert len(payload["runs"]) == 1
+
+    def test_v1_payload_still_readable(self):
+        payload = result_to_dict(small_result())
+        payload["schema"] = "sdvbs-repro/suite-result/v1"
+        restored = result_from_dict(payload)
+        assert restored.runs[0].total_seconds == 1.5
+
+    def test_stats_roundtrip(self):
+        from repro.core.types import AggregatedRun, RunStats
+
+        result = small_result()
+        run = result.runs[0]
+        run.stats = AggregatedRun(
+            benchmark=run.benchmark,
+            size=run.size,
+            variant=run.variant,
+            warmup=1,
+            total=RunStats.of([1.4, 1.5, 1.6]),
+            kernels={"A": RunStats.of([0.9, 1.0, 1.1])},
+            kernel_calls=dict(run.kernel_calls),
+        )
+        payload = result_to_dict(result)
+        stats = payload["runs"][0]["stats"]
+        assert stats["repeats"] == 3
+        for key in ("min", "median", "mean", "stddev", "samples"):
+            assert key in stats["total"]
+            assert key in stats["kernels"]["A"]
+        restored = result_from_json(result_to_json(result))
+        assert restored.runs[0].stats.total == run.stats.total
+        assert restored.runs[0].stats.kernels == run.stats.kernels
+        assert restored.runs[0].stats.warmup == 1
 
     def test_roundtrip_preserves_timings(self):
         original = small_result()
@@ -81,6 +112,21 @@ class TestCliJson:
         out = capsys.readouterr().out
         payload = json.loads(out)
         assert payload["runs"][0]["benchmark"] == "disparity"
+
+    def test_run_json_with_repeats_and_jobs(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(
+            ["run", "disparity", "--sizes", "sqcif", "--repeats", "2",
+             "--warmup", "1", "--jobs", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["runs"][0]["stats"]
+        assert stats["warmup"] == 1
+        assert stats["repeats"] == 2
+        for kernel_stats in stats["kernels"].values():
+            for key in ("min", "median", "mean", "stddev", "samples"):
+                assert key in kernel_stats
 
 
 class TestCliCompare:

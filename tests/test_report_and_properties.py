@@ -73,13 +73,16 @@ class TestScalingSeries:
         series = scaling_series(self._result([1.0, 2.0, 4.0]), "demo")
         assert [p.relative_time for p in series] == [1.0, 2.0, 4.0]
 
-    def test_missing_base_empty(self):
+    def test_missing_base_falls_back_to_smallest_present(self):
         result = SuiteResult()
         result.runs.append(
             BenchmarkRun(benchmark="demo", size=InputSize.CIF, variant=0,
                          total_seconds=1.0)
         )
-        assert scaling_series(result, "demo") == []
+        with pytest.warns(RuntimeWarning, match="smallest size present"):
+            series = scaling_series(result, "demo")
+        assert [p.relative_size for p in series] == [4]
+        assert series[0].relative_time == pytest.approx(1.0)
 
     def test_unknown_benchmark_empty(self):
         assert scaling_series(self._result([1.0, 2.0, 4.0]), "ghost") == []
