@@ -17,9 +17,10 @@ from typing import Dict, Tuple
 
 import pytest
 
-from repro.core import InputSize, get_benchmark, run_benchmark
+from repro.core import InputSize, TraceRecorder, get_benchmark, run_benchmark
 from repro.core.report import format_table
 from repro.core.runner import ALL_SIZES
+from repro.core.tracing import events_to_jsonl, run_manifest
 
 FIG2_SLUGS = (
     "disparity",
@@ -101,3 +102,30 @@ def test_fig2_series(benchmark, artifacts):
     assert ratio("localization") < ratio("disparity")
     # Segmentation's fixed working grid keeps it nearly flat.
     assert ratio("segmentation") < 2.0
+
+
+def test_fig2_trace_events_artifact(benchmark, artifacts):
+    """Call-granular event log behind one Figure 2 row.
+
+    Traces disparity across the three sizes into a single recorder; the
+    per-call spans (tagged with their size) land in ``results/`` as a
+    JSONL event log, so the scaling behaviour is inspectable per kernel
+    *invocation*, not just per run total.
+    """
+    bench = get_benchmark("disparity")
+    recorder = TraceRecorder()
+
+    def trace_all_sizes():
+        for size in ALL_SIZES:
+            run_benchmark(bench, size, 0, recorder=recorder)
+
+    benchmark.pedantic(trace_all_sizes, rounds=1, iterations=1,
+                       warmup_rounds=0)
+    sizes_seen = {span.attrs.get("size") for span in recorder.spans}
+    assert sizes_seen == {size.name for size in ALL_SIZES}
+    artifacts.add(
+        "figure2_events_disparity",
+        events_to_jsonl(recorder.spans,
+                        run_manifest(argv=["bench_fig2_scaling"])),
+        suffix=".jsonl",
+    )

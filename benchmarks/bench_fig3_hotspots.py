@@ -11,9 +11,16 @@ from typing import Dict
 
 import pytest
 
-from repro.core import InputSize, all_benchmarks, get_benchmark, run_benchmark
+from repro.core import (
+    InputSize,
+    TraceRecorder,
+    all_benchmarks,
+    get_benchmark,
+    run_benchmark,
+)
 from repro.core.report import render_figure3
 from repro.core.runner import ALL_SIZES
+from repro.core.tracing import chrome_trace_json, run_manifest
 from repro.core.types import NON_KERNEL_WORK, SuiteResult
 
 ALL_SLUGS = tuple(b.slug for b in all_benchmarks())
@@ -83,3 +90,34 @@ def test_fig3_render_and_shape(benchmark, artifacts):
     pf = share("localization", InputSize.SQCIF, "ParticleFilter")
     samp = share("localization", InputSize.SQCIF, "Sampling")
     assert pf + samp > 90.0
+
+
+def test_fig3_trace_artifact(benchmark, artifacts):
+    """The call-granular view behind the Figure 3 aggregate.
+
+    One traced disparity run: every kernel invocation becomes a span, the
+    summed exclusive span time must reproduce the profiler's attribution
+    exactly, and the trace lands in ``results/`` as Chrome trace-event
+    JSON (loadable in chrome://tracing / Perfetto).
+    """
+    bench = get_benchmark("disparity")
+    recorder = TraceRecorder()
+
+    def traced_run():
+        return run_benchmark(bench, InputSize.SQCIF, variant=0,
+                             recorder=recorder)
+
+    run = benchmark.pedantic(traced_run, rounds=1, iterations=1,
+                             warmup_rounds=0)
+    sums = recorder.kernel_self_seconds()
+    assert set(sums) == set(run.kernel_seconds)
+    for name, seconds in run.kernel_seconds.items():
+        assert sums[name] == pytest.approx(seconds, abs=1e-9)
+    # Call granularity: the shift loop makes every kernel multi-call.
+    assert all(count > 1 for count in run.kernel_calls.values())
+    artifacts.add(
+        "figure3_trace_disparity",
+        chrome_trace_json(recorder.spans,
+                          run_manifest(argv=["bench_fig3_hotspots"])),
+        suffix=".json",
+    )

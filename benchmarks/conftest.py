@@ -11,7 +11,7 @@ tables and figures on disk alongside the timing table.
 from __future__ import annotations
 
 import os
-from typing import Dict
+from typing import Dict, Tuple
 
 import pytest
 
@@ -19,20 +19,25 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 class ArtifactStore:
-    """Collects rendered table/figure text, keyed by artifact name."""
+    """Collects rendered table/figure text, keyed by artifact name.
+
+    ``suffix`` lets trace artifacts land as ``.json``/``.jsonl`` next to
+    the ``.txt`` tables; text artifacts keep a trailing newline, data
+    files are written verbatim.
+    """
 
     def __init__(self) -> None:
-        self.artifacts: Dict[str, str] = {}
+        self.artifacts: Dict[str, Tuple[str, str]] = {}
 
-    def add(self, name: str, text: str) -> None:
-        self.artifacts[name] = text
+    def add(self, name: str, text: str, suffix: str = ".txt") -> None:
+        self.artifacts[name] = (text, suffix)
 
     def flush(self) -> None:
         os.makedirs(RESULTS_DIR, exist_ok=True)
-        for name, text in self.artifacts.items():
-            path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        for name, (text, suffix) in self.artifacts.items():
+            path = os.path.join(RESULTS_DIR, f"{name}{suffix}")
             with open(path, "w", encoding="utf-8") as handle:
-                handle.write(text + "\n")
+                handle.write(text if text.endswith("\n") else text + "\n")
 
 
 @pytest.fixture(scope="session")

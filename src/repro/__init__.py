@@ -24,6 +24,8 @@ from .core import (
     KernelProfiler,
     RunStats,
     SuiteResult,
+    TraceRecorder,
+    TraceSpan,
     all_benchmarks,
     get_benchmark,
     run_benchmark,
@@ -50,6 +52,8 @@ __all__ = [
     "KernelProfiler",
     "RunStats",
     "SuiteResult",
+    "TraceRecorder",
+    "TraceSpan",
     "__version__",
     "all_benchmarks",
     "get_benchmark",

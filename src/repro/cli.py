@@ -5,15 +5,19 @@ Subcommands::
     sdvbs list                      # the nine applications + metadata
     sdvbs run disparity sift        # run benchmarks, print hotspots
     sdvbs tables                    # Tables I, II, III
+    sdvbs sysinfo                   # Table III host rows (manifest fields)
     sdvbs figure2 [--variants N]    # input-size scaling series
     sdvbs figure3 [slugs...]        # kernel occupancy per size
     sdvbs table4                    # critical-path parallelism
+    sdvbs trace disparity --size CIF --out trace.json
+                                    # per-call spans -> chrome://tracing
     sdvbs compare base.json cand.json   # median speedups + noise verdicts
 
 ``run``/``figure2``/``figure3`` accept the robust-measurement knobs
 ``--repeats N`` (retained runs per cell, aggregated into
 min/median/mean/stddev), ``--warmup N`` (discarded runs) and ``--jobs N``
-(worker processes across the benchmark grid).
+(worker processes across the benchmark grid), plus ``--events PATH`` to
+record every kernel call into a structured JSONL event log.
 """
 
 from __future__ import annotations
@@ -22,15 +26,23 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import InputSize, all_benchmarks, run_suite
+from .core import InputSize, all_benchmarks, get_benchmark, run_suite
 from .core.report import (
     render_figure2,
     render_figure3,
+    render_kernel_drilldown,
     render_suite_summary,
     render_table1,
     render_table2,
     render_table3,
     render_table4,
+    render_top_spans,
+)
+from .core.tracing import (
+    TraceRecorder,
+    chrome_trace_json,
+    events_to_jsonl,
+    run_manifest,
 )
 
 
@@ -66,6 +78,49 @@ def _add_measurement_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the benchmark grid; 1 "
                         "runs serially (default: 1)")
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="record one span per kernel call and write a "
+                        "structured JSONL event log (with manifest header) "
+                        "to PATH")
+
+
+def _write_events(path: Optional[str], recorder: Optional[TraceRecorder],
+                  manifest: dict) -> None:
+    """Write the recorder's JSONL event log when ``--events`` was given."""
+    if not path or recorder is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(events_to_jsonl(recorder.spans, manifest))
+
+
+def _run_trace(args: argparse.Namespace, cli_argv: List[str]) -> int:
+    """``sdvbs trace``: one traced run, Chrome trace export, drilldowns."""
+    from .core import run_benchmark
+
+    try:
+        benchmark = get_benchmark(args.slug)
+    except KeyError as exc:
+        print(f"sdvbs trace: {exc.args[0]}", file=sys.stderr)
+        return 2
+    recorder = TraceRecorder(track_memory=args.memory)
+    try:
+        run = run_benchmark(benchmark, args.size, args.variant,
+                            recorder=recorder)
+        manifest = run_manifest(argv=cli_argv)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(chrome_trace_json(recorder.spans, manifest))
+        _write_events(args.events, recorder, manifest)
+    finally:
+        recorder.finish()
+    print(render_top_spans(recorder.spans, limit=args.top))
+    print()
+    print(render_kernel_drilldown(recorder.spans))
+    print()
+    destinations = args.out + (f" and {args.events}" if args.events else "")
+    print(f"wrote {recorder.events} spans ({run.total_seconds * 1000:.1f} ms "
+          f"traced) to {destinations}; load in chrome://tracing or "
+          "https://ui.perfetto.dev")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -80,6 +135,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("list", help="list the nine applications")
     sub.add_parser("tables", help="print Tables I, II and III")
     sub.add_parser("table4", help="print Table IV (parallelism)")
+    sub.add_parser("sysinfo", help="print the Table III host rows (the "
+                   "fields recorded in run manifests)")
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one benchmark with per-call tracing and export a "
+        "chrome://tracing / Perfetto trace",
+    )
+    trace_parser.add_argument("slug", help="benchmark slug (e.g. disparity)")
+    trace_parser.add_argument("--size", type=_size_arg, default=InputSize.SQCIF,
+                              metavar="SIZE",
+                              help="SQCIF/QCIF/CIF, case-insensitive "
+                              "(default: SQCIF)")
+    trace_parser.add_argument("--variant", type=int, default=0,
+                              help="input variant (0-4, default: 0)")
+    trace_parser.add_argument("--out", default="trace.json", metavar="PATH",
+                              help="Chrome trace-event JSON output path "
+                              "(default: trace.json)")
+    trace_parser.add_argument("--events", metavar="PATH", default=None,
+                              help="also write the structured JSONL event "
+                              "log to PATH")
+    trace_parser.add_argument("--memory", action="store_true",
+                              help="sample tracemalloc peak allocations "
+                              "per span (slows the run)")
+    trace_parser.add_argument("--top", type=int, default=10, metavar="N",
+                              help="slowest invocations to print "
+                              "(default: 10)")
 
     run_parser = sub.add_parser("run", help="run benchmarks and profile")
     run_parser.add_argument("slugs", nargs="*", help="benchmark slugs "
@@ -112,6 +194,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare_parser.add_argument("candidate", help="candidate JSON file")
 
     args = parser.parse_args(argv)
+    cli_argv = list(argv) if argv is not None else list(sys.argv[1:])
 
     if args.command == "list":
         print(render_table1())
@@ -126,6 +209,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table4":
         print(render_table4())
         return 0
+    if args.command == "sysinfo":
+        print(render_table3())
+        return 0
+    if args.command == "trace":
+        return _run_trace(args, cli_argv)
 
     variants = list(range(max(1, min(5, getattr(args, "variants", 1)))))
     measurement = {
@@ -133,11 +221,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "repeats": max(1, getattr(args, "repeats", 1)),
         "jobs": max(1, getattr(args, "jobs", 1)),
     }
+    manifest = run_manifest(argv=cli_argv, **measurement)
+    recorder = TraceRecorder() if getattr(args, "events", None) else None
     if args.command == "run":
         slugs = args.slugs or None
         sizes = _parse_sizes(args.sizes)
         result = run_suite(slugs, sizes=sizes, variants=variants,
-                           **measurement)
+                           recorder=recorder, **measurement)
+        result.manifest = manifest
+        _write_events(args.events, recorder, manifest)
         if args.json:
             from .core.export import result_to_json
 
@@ -149,12 +241,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "figure2":
         slugs = [b.slug for b in all_benchmarks() if b.in_figure2]
-        result = run_suite(slugs, variants=variants, **measurement)
+        result = run_suite(slugs, variants=variants, recorder=recorder,
+                           **measurement)
+        result.manifest = manifest
+        _write_events(args.events, recorder, manifest)
         print(render_figure2(result, show_noise=measurement["repeats"] > 1))
         return 0
     if args.command == "figure3":
         slugs = args.slugs or None
-        result = run_suite(slugs, variants=variants, **measurement)
+        result = run_suite(slugs, variants=variants, recorder=recorder,
+                           **measurement)
+        result.manifest = manifest
+        _write_events(args.events, recorder, manifest)
         print(render_figure3(result))
         return 0
     if args.command == "compare":

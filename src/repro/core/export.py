@@ -9,10 +9,15 @@ Schema history:
 
 * ``sdvbs-repro/suite-result/v1`` — single-shot runs: per-run totals,
   kernel seconds/calls, occupancy, stringified outputs.
-* ``sdvbs-repro/suite-result/v2`` (current) — adds the repeat statistics
+* ``sdvbs-repro/suite-result/v2`` — adds the repeat statistics
   recorded by the robust runner: per-run ``stats`` with ``warmup`` and
   min/median/mean/stddev + raw samples for the total and every kernel.
   v1 payloads remain readable (their runs carry no ``stats``).
+* ``sdvbs-repro/suite-result/v3`` (current) — every export carries a
+  ``manifest`` block (:func:`~repro.core.tracing.run_manifest`): the
+  profiling host's Table III rows, Python/numpy versions, the CLI
+  arguments and measurement knobs that produced the run.  v1/v2 payloads
+  remain readable (their results carry no manifest).
 """
 
 from __future__ import annotations
@@ -20,14 +25,16 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
+from .tracing import run_manifest
 from .types import AggregatedRun, BenchmarkRun, InputSize, RunStats, SuiteResult
 
 SCHEMA_V1 = "sdvbs-repro/suite-result/v1"
 SCHEMA_V2 = "sdvbs-repro/suite-result/v2"
+SCHEMA_V3 = "sdvbs-repro/suite-result/v3"
 #: Schema written by :func:`result_to_dict`.
-CURRENT_SCHEMA = SCHEMA_V2
+CURRENT_SCHEMA = SCHEMA_V3
 #: Schemas :func:`result_from_dict` accepts.
-READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2)
+READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3)
 
 
 def _stats_to_dict(stats: AggregatedRun) -> Dict[str, object]:
@@ -70,31 +77,50 @@ def run_to_dict(run: BenchmarkRun) -> Dict[str, object]:
     return payload
 
 
-def result_to_dict(result: SuiteResult) -> Dict[str, object]:
-    """Flatten a whole suite result into a JSON-ready dictionary."""
+def result_to_dict(result: SuiteResult,
+                   manifest: Optional[Dict[str, object]] = None
+                   ) -> Dict[str, object]:
+    """Flatten a whole suite result into a JSON-ready dictionary.
+
+    Every export carries a manifest: the explicit ``manifest`` argument
+    wins, then ``result.manifest`` (the CLI stamps one with its argv and
+    measurement knobs), then a freshly gathered
+    :func:`~repro.core.tracing.run_manifest` for this host.
+    """
+    if manifest is None:
+        manifest = result.manifest
+    if manifest is None:
+        manifest = run_manifest()
     return {
         "schema": CURRENT_SCHEMA,
+        "manifest": manifest,
         "runs": [run_to_dict(run) for run in result.runs],
     }
 
 
-def result_to_json(result: SuiteResult, indent: int = 2) -> str:
+def result_to_json(result: SuiteResult, indent: int = 2,
+                   manifest: Optional[Dict[str, object]] = None) -> str:
     """Serialize a suite result to a JSON string."""
-    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+    return json.dumps(result_to_dict(result, manifest=manifest),
+                      indent=indent, sort_keys=True)
 
 
 def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     """Rebuild a :class:`SuiteResult` from :func:`result_to_dict` output.
 
-    Accepts both the current v2 schema and legacy v1 payloads (whose runs
-    simply carry no repeat statistics).  ``outputs`` are not round-tripped
-    (they were stringified); everything the reports need — timings,
-    attribution and measurement statistics — is restored exactly.
+    Accepts the current v3 schema and legacy v1/v2 payloads (v1 runs
+    carry no repeat statistics; v1/v2 results carry no manifest).
+    ``outputs`` are not round-tripped (they were stringified); everything
+    the reports need — timings, attribution, measurement statistics and
+    the manifest — is restored exactly.
     """
     schema = payload.get("schema")
     if schema not in READABLE_SCHEMAS:
         raise ValueError(f"unsupported schema {schema!r}")
     result = SuiteResult()
+    manifest = payload.get("manifest")
+    if manifest is not None:
+        result.manifest = dict(manifest)  # type: ignore[arg-type]
     runs: List[Dict[str, object]] = payload["runs"]  # type: ignore[assignment]
     for entry in runs:
         run = BenchmarkRun(

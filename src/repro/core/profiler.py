@@ -16,6 +16,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional
 
+from .tracing import CATEGORY_APP, CATEGORY_KERNEL, TraceRecorder
 from .types import KernelSample
 
 
@@ -25,9 +26,15 @@ class KernelProfiler:
     The profiler is re-entrant: the same kernel name may appear at several
     nesting depths and its samples are merged.  A ``clock`` callable can be
     injected for deterministic tests.
+
+    With a :class:`~repro.core.tracing.TraceRecorder` attached, every
+    kernel call additionally emits one span (and ``start``/``stop`` emit a
+    whole-application span) into the recorder.  Without one, the hot path
+    pays a single ``is None`` check and allocates nothing extra.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 recorder: Optional[TraceRecorder] = None) -> None:
         self._clock: Callable[[], float] = clock or time.perf_counter
         self._samples: Dict[str, KernelSample] = {}
         # Stack of [kernel name, accumulated child time] for the active
@@ -35,6 +42,13 @@ class KernelProfiler:
         self._stack: List[List[object]] = []
         self._total_start: Optional[float] = None
         self._total_seconds: float = 0.0
+        self._recorder: Optional[TraceRecorder] = recorder
+        self._app_seq: Optional[int] = None
+
+    @property
+    def recorder(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, if any."""
+        return self._recorder
 
     # ------------------------------------------------------------------
     # Whole-application timing
@@ -44,13 +58,23 @@ class KernelProfiler:
         if self._total_start is not None:
             raise RuntimeError("profiler already started")
         self._total_start = self._clock()
+        recorder = self._recorder
+        if recorder is not None:
+            self._app_seq = recorder.span_open(
+                "app", CATEGORY_APP, self._total_start
+            )
 
     def stop(self) -> float:
         """Stop whole-application timing and return total elapsed seconds."""
         if self._total_start is None:
             raise RuntimeError("profiler not started")
-        self._total_seconds += self._clock() - self._total_start
+        end = self._clock()
+        self._total_seconds += end - self._total_start
         self._total_start = None
+        recorder = self._recorder
+        if recorder is not None and self._app_seq is not None:
+            recorder.span_close(self._app_seq, end)
+            self._app_seq = None
         return self._total_seconds
 
     @contextmanager
@@ -73,12 +97,17 @@ class KernelProfiler:
         inner kernel only).
         """
         start = self._clock()
+        recorder = self._recorder
+        seq = -1
+        if recorder is not None:
+            seq = recorder.span_open(name, CATEGORY_KERNEL, start)
         frame: List[object] = [name, 0.0]
         self._stack.append(frame)
         try:
             yield
         finally:
-            elapsed = self._clock() - start
+            end = self._clock()
+            elapsed = end - start
             self._stack.pop()
             child_time = float(frame[1])  # accumulated by nested kernels
             exclusive = max(0.0, elapsed - child_time)
@@ -88,6 +117,8 @@ class KernelProfiler:
             if self._stack:
                 parent = self._stack[-1]
                 parent[1] = float(parent[1]) + elapsed
+            if recorder is not None:
+                recorder.span_close(seq, end, self_duration=exclusive)
 
     # ------------------------------------------------------------------
     # Results
@@ -114,6 +145,12 @@ class KernelProfiler:
         self._stack.clear()
         self._total_start = None
         self._total_seconds = 0.0
+        self._app_seq = None
+        recorder = self._recorder
+        if recorder is not None:
+            # Close any spans this profiler left open so the recorder's
+            # nesting stack stays consistent for subsequent runs.
+            recorder.abandon_open(self._clock())
 
 
 class NullProfiler(KernelProfiler):

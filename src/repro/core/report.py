@@ -8,6 +8,13 @@ match what the paper reports:
 * :func:`render_figure2` — relative execution time vs relative input size.
 * :func:`render_figure3` — per-kernel occupancy bars per input size.
 * :func:`render_table4` — work/span parallelism per kernel.
+
+Trace drilldowns (event-level observability, not in the paper):
+
+* :func:`render_top_spans` — the N slowest individual kernel invocations
+  recorded in a trace.
+* :func:`render_kernel_drilldown` — per-kernel calls / total / mean /
+  max, computed from recorded spans rather than aggregate profiles.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from .registry import Benchmark, all_benchmarks, table4_benchmarks
 from .runner import ALL_SIZES, scaling_series
 from .sysinfo import system_configuration
+from .tracing import CATEGORY_KERNEL, TraceSpan
 from .types import (
     NON_KERNEL_WORK,
     InputSize,
@@ -191,6 +199,96 @@ def _format_parallelism(value: float) -> str:
     if value >= 10:
         return f"{value:.0f}x"
     return f"{value:.1f}x"
+
+
+def _span_context(span: TraceSpan) -> str:
+    """Compact run context for one span: ``benchmark@SIZE v0 r1``."""
+    attrs = span.attrs
+    parts = []
+    if "benchmark" in attrs:
+        label = str(attrs["benchmark"])
+        if "size" in attrs:
+            label += f"@{attrs['size']}"
+        parts.append(label)
+    if "variant" in attrs:
+        parts.append(f"v{attrs['variant']}")
+    if "repeat" in attrs:
+        parts.append(f"r{attrs['repeat']}")
+    if attrs.get("phase") == "warmup":
+        parts.append("(warmup)")
+    return " ".join(parts) if parts else "-"
+
+
+def render_top_spans(spans: Iterable[TraceSpan], limit: int = 10) -> str:
+    """The ``limit`` slowest individual kernel invocations in a trace.
+
+    Sorted by inclusive duration; the ``Self`` column excludes time spent
+    in nested named kernels.  Memory peaks appear when the trace was
+    recorded with ``track_memory``.
+    """
+    kernel_spans = [s for s in spans if s.category == CATEGORY_KERNEL]
+    ranked = sorted(kernel_spans, key=lambda s: s.duration,
+                    reverse=True)[:max(0, limit)]
+    any_memory = any("memory_peak_bytes" in s.attrs for s in ranked)
+    headers = ["#", "Kernel", "Run", "Start", "Duration", "Self", "Depth"]
+    if any_memory:
+        headers.append("Peak mem")
+    rows = []
+    for rank, span in enumerate(ranked, start=1):
+        row = [
+            str(rank),
+            span.name,
+            _span_context(span),
+            f"{span.start * 1000:.2f} ms",
+            f"{span.duration * 1000:.3f} ms",
+            f"{span.self_duration * 1000:.3f} ms",
+            str(span.depth),
+        ]
+        if any_memory:
+            peak = span.attrs.get("memory_peak_bytes")
+            row.append(f"{int(peak) / 1024:.0f} KiB" if peak is not None
+                       else "-")
+        rows.append(row)
+    return format_table(
+        headers, rows,
+        title=f"Top {len(ranked)} slowest kernel invocations",
+    )
+
+
+def render_kernel_drilldown(spans: Iterable[TraceSpan]) -> str:
+    """Per-kernel call counts and durations computed from recorded spans.
+
+    ``Total self`` sums exclusive time (matches the profiler's
+    ``kernel_seconds``); ``Mean``/``Max`` are per-invocation inclusive
+    durations, the call-granular view the aggregate profile cannot give.
+    """
+    per_kernel: Dict[str, List[TraceSpan]] = {}
+    for span in spans:
+        if span.category == CATEGORY_KERNEL:
+            per_kernel.setdefault(span.name, []).append(span)
+    rows = []
+    order = sorted(
+        per_kernel.items(),
+        key=lambda item: sum(s.self_duration for s in item[1]),
+        reverse=True,
+    )
+    for name, group in order:
+        total_self = sum(s.self_duration for s in group)
+        durations = [s.duration for s in group]
+        rows.append(
+            (
+                name,
+                str(len(group)),
+                f"{total_self * 1000:.3f} ms",
+                f"{sum(durations) / len(durations) * 1000:.3f} ms",
+                f"{max(durations) * 1000:.3f} ms",
+            )
+        )
+    return format_table(
+        ("Kernel", "Calls", "Total self", "Mean call", "Max call"),
+        rows,
+        title="Per-kernel invocation drilldown",
+    )
 
 
 def render_suite_summary(result: SuiteResult) -> str:

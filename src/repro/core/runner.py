@@ -19,6 +19,10 @@ per-kernel timing):
   ``ProcessPoolExecutor`` with deterministic result ordering.  ``jobs=1``
   is the plain serial loop, and the parallel path falls back to serial
   when process pools are unavailable (restricted environments).
+* Both entry points accept an optional
+  :class:`~repro.core.tracing.TraceRecorder`; when attached, every kernel
+  call and whole-app run emits a span (pool workers record locally and
+  their spans are serialized back to the parent recorder).
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .profiler import KernelProfiler
 from .registry import Benchmark, all_benchmarks, get_benchmark
+from .tracing import TraceRecorder
 from .types import (
     AggregatedRun,
     BenchmarkRun,
@@ -47,9 +52,10 @@ def _measure_once(
     benchmark: Benchmark,
     workload: object,
     clock: Optional[Clock],
+    recorder: Optional[TraceRecorder] = None,
 ) -> Tuple[KernelProfiler, dict]:
     """One timed execution of ``benchmark`` on a prepared workload."""
-    profiler = KernelProfiler(clock=clock)
+    profiler = KernelProfiler(clock=clock, recorder=recorder)
     with profiler.run():
         outputs = benchmark.run(workload, profiler)
     return profiler, dict(outputs)
@@ -62,6 +68,7 @@ def run_benchmark(
     warmup: int = 0,
     repeats: int = 1,
     clock: Optional[Clock] = None,
+    recorder: Optional[TraceRecorder] = None,
 ) -> BenchmarkRun:
     """Run one application and return its timed record.
 
@@ -75,22 +82,34 @@ def run_benchmark(
     (``warmup=0, repeats=1``) the medians are the single cold sample,
     bit-identical to the historical single-shot behavior.
 
-    ``clock`` injects a deterministic time source for tests.
+    ``clock`` injects a deterministic time source for tests.  With a
+    ``recorder`` attached, every execution (warmup runs included, tagged
+    ``phase="warmup"``) emits one span per kernel call plus an app span,
+    stamped with the (benchmark, size, variant, repeat) context.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
     workload = benchmark.setup(size, variant)
-    for _ in range(warmup):
-        _measure_once(benchmark, workload, clock)
+    for index in range(warmup):
+        if recorder is not None:
+            recorder.set_context(benchmark=benchmark.slug, size=size.name,
+                                 variant=variant, repeat=index,
+                                 phase="warmup")
+        _measure_once(benchmark, workload, clock, recorder)
 
     total_samples: List[float] = []
     kernel_samples: dict = {}
     kernel_calls: dict = {}
     outputs: dict = {}
     for index in range(repeats):
-        profiler, outputs = _measure_once(benchmark, workload, clock)
+        if recorder is not None:
+            recorder.set_context(benchmark=benchmark.slug, size=size.name,
+                                 variant=variant, repeat=index,
+                                 phase="measure")
+        profiler, outputs = _measure_once(benchmark, workload, clock,
+                                          recorder)
         total_samples.append(profiler.total_seconds)
         seconds = profiler.kernel_seconds
         for name, value in seconds.items():
@@ -138,24 +157,34 @@ def _run_cell(
     variant: int,
     warmup: int,
     repeats: int,
-) -> BenchmarkRun:
+    trace: bool = False,
+    track_memory: bool = False,
+) -> Tuple[BenchmarkRun, Optional[List[dict]]]:
     """Worker entry point: one grid cell, addressed by picklable keys.
 
     Module-level (not a closure) so ``ProcessPoolExecutor`` can pickle it;
     the benchmark registry re-loads lazily inside each worker process.
+    With ``trace=True`` the cell records into a local
+    :class:`TraceRecorder` and ships its spans back as plain dictionaries
+    for the parent recorder to absorb.
     """
+    recorder = TraceRecorder(track_memory=track_memory) if trace else None
     run = run_benchmark(
         get_benchmark(slug),
         InputSize[size_name],
         variant,
         warmup=warmup,
         repeats=repeats,
+        recorder=recorder,
     )
     # Outputs may hold arbitrarily large (or unpicklable) application
     # objects; the suite reports only consume timing, so drop them before
     # shipping results back over the pipe.
     run.outputs = {}
-    return run
+    spans = recorder.to_serialized() if recorder is not None else None
+    if recorder is not None:
+        recorder.finish()
+    return run, spans
 
 
 def run_suite(
@@ -165,6 +194,7 @@ def run_suite(
     warmup: int = 0,
     repeats: int = 1,
     jobs: int = 1,
+    recorder: Optional[TraceRecorder] = None,
 ) -> SuiteResult:
     """Run the selected applications over ``sizes`` x ``variants``.
 
@@ -178,6 +208,11 @@ def run_suite(
     If a process pool cannot be created or breaks (sandboxed platforms,
     missing semaphores), the runner warns and falls back to the serial
     path rather than failing the measurement.
+
+    With a ``recorder``, every run emits per-kernel-call spans.  On the
+    parallel path each worker records locally and its spans are shipped
+    back and absorbed in grid order, one ``track`` lane per cell (each
+    worker has its own t=0).
     """
     if slugs is None:
         benchmarks = all_benchmarks()
@@ -192,9 +227,15 @@ def run_suite(
     ]
     result = SuiteResult()
     if jobs > 1 and len(grid) > 1:
-        runs = _run_grid_parallel(grid, warmup, repeats, jobs)
+        runs = _run_grid_parallel(grid, warmup, repeats, jobs,
+                                  trace=recorder is not None,
+                                  track_memory=recorder is not None
+                                  and recorder.track_memory)
         if runs is not None:
-            result.runs.extend(runs)
+            for index, (run, spans) in enumerate(runs):
+                result.runs.append(run)
+                if recorder is not None and spans:
+                    recorder.absorb(spans, track=index)
             return result
         warnings.warn(
             "process pool unavailable; falling back to serial execution",
@@ -204,7 +245,7 @@ def run_suite(
     for benchmark, size, variant in grid:
         result.runs.append(
             run_benchmark(benchmark, size, variant,
-                          warmup=warmup, repeats=repeats)
+                          warmup=warmup, repeats=repeats, recorder=recorder)
         )
     return result
 
@@ -214,7 +255,9 @@ def _run_grid_parallel(
     warmup: int,
     repeats: int,
     jobs: int,
-) -> Optional[List[BenchmarkRun]]:
+    trace: bool = False,
+    track_memory: bool = False,
+) -> Optional[List[Tuple[BenchmarkRun, Optional[List[dict]]]]]:
     """Execute the grid on a process pool; ``None`` if the pool fails."""
     import concurrent.futures
 
@@ -225,7 +268,7 @@ def _run_grid_parallel(
         ) as pool:
             futures = [
                 pool.submit(_run_cell, benchmark.slug, size.name, variant,
-                            warmup, repeats)
+                            warmup, repeats, trace, track_memory)
                 for benchmark, size, variant in grid
             ]
             # Collect in submission order: deterministic results no matter

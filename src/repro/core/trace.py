@@ -27,18 +27,23 @@ from .dataflow import TaskGraph
 
 Number = Union[int, float, "TracedValue"]
 
-_ids = itertools.count()
-
 
 class Tracer:
-    """Owns the dependence graph of one traced computation."""
+    """Owns the dependence graph of one traced computation.
+
+    Node ids are allocated per tracer (starting at 0), not from a
+    process-global counter, so tracing the same computation always
+    produces the same graph — repeated limit-study runs are deterministic
+    and comparable regardless of what was traced earlier in the process.
+    """
 
     def __init__(self) -> None:
         self.graph = TaskGraph()
+        self._ids = itertools.count()
 
     def constant(self, value: float) -> "TracedValue":
         """A leaf value (an input load; zero-cost source node)."""
-        node = next(_ids)
+        node = next(self._ids)
         self.graph.add(node, 0, ())
         return TracedValue(self, float(value), node)
 
@@ -48,7 +53,7 @@ class Tracer:
     def record(self, value: float, deps: Sequence["TracedValue"],
                cost: int = 1) -> "TracedValue":
         """Record one operation producing ``value`` from ``deps``."""
-        node = next(_ids)
+        node = next(self._ids)
         self.graph.add(node, cost, [d.node for d in deps])
         return TracedValue(self, float(value), node)
 

@@ -295,9 +295,16 @@ class ParallelismEstimate:
 
 @dataclass
 class SuiteResult:
-    """All runs collected by the suite runner, grouped for reporting."""
+    """All runs collected by the suite runner, grouped for reporting.
+
+    ``manifest`` is the reproducibility header (host configuration,
+    software versions, CLI args, measurement knobs) attached by the JSON
+    export layer; it is ``None`` until a caller stamps one on (the CLI
+    does) or the result is restored from a schema-v3 payload.
+    """
 
     runs: List[BenchmarkRun] = field(default_factory=list)
+    manifest: Optional[Dict[str, object]] = None
 
     def for_benchmark(self, name: str) -> List[BenchmarkRun]:
         return [run for run in self.runs if run.benchmark == name]

@@ -34,14 +34,39 @@ class TestRoundTrip:
     def test_json_is_valid(self):
         text = result_to_json(small_result())
         payload = json.loads(text)
-        assert payload["schema"] == "sdvbs-repro/suite-result/v2"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v3"
         assert len(payload["runs"]) == 1
+
+    def test_export_always_carries_manifest(self):
+        payload = result_to_dict(small_result())
+        manifest = payload["manifest"]
+        assert manifest["schema"] == "sdvbs-repro/manifest/v1"
+        for key in ("host", "python", "numpy", "measurement"):
+            assert key in manifest, key
+        assert "Operating System" in manifest["host"]
 
     def test_v1_payload_still_readable(self):
         payload = result_to_dict(small_result())
         payload["schema"] = "sdvbs-repro/suite-result/v1"
+        del payload["manifest"]
         restored = result_from_dict(payload)
         assert restored.runs[0].total_seconds == 1.5
+        assert restored.manifest is None
+
+    def test_v2_payload_still_readable(self):
+        payload = result_to_dict(small_result())
+        payload["schema"] = "sdvbs-repro/suite-result/v2"
+        del payload["manifest"]
+        restored = result_from_dict(payload)
+        assert restored.runs[0].total_seconds == 1.5
+        assert restored.manifest is None
+
+    def test_manifest_roundtrip(self):
+        result = small_result()
+        result.manifest = {"schema": "sdvbs-repro/manifest/v1",
+                           "argv": ["run", "demo"], "custom": 7}
+        restored = result_from_json(result_to_json(result))
+        assert restored.manifest == result.manifest
 
     def test_stats_roundtrip(self):
         from repro.core.types import AggregatedRun, RunStats

@@ -127,6 +127,59 @@ def test_ensure_profiler():
     assert ensure_profiler(real) is real
 
 
+def test_three_level_nesting_subtracts_children_at_each_level():
+    clock = FakeClock()
+    profiler = KernelProfiler(clock=clock)
+    with profiler.kernel("a"):
+        clock.advance(1.0)
+        with profiler.kernel("b"):
+            clock.advance(2.0)
+            with profiler.kernel("c"):
+                clock.advance(4.0)
+            clock.advance(0.25)
+        clock.advance(0.5)
+    assert profiler.kernel_seconds["c"] == pytest.approx(4.0)
+    assert profiler.kernel_seconds["b"] == pytest.approx(2.25)
+    assert profiler.kernel_seconds["a"] == pytest.approx(1.5)
+    assert profiler.attributed_seconds() == pytest.approx(7.75)
+
+
+def test_same_kernel_at_three_depths_sums_to_wall_time():
+    clock = FakeClock()
+    profiler = KernelProfiler(clock=clock)
+    with profiler.kernel("A"):
+        clock.advance(1.0)
+        with profiler.kernel("A"):
+            clock.advance(2.0)
+            with profiler.kernel("A"):
+                clock.advance(4.0)
+    assert profiler.kernel_seconds["A"] == pytest.approx(7.0)
+    assert profiler.kernel_calls["A"] == 3
+
+
+def test_reset_clears_recorder_linkage_state():
+    from repro.core.tracing import TraceRecorder
+
+    clock = FakeClock()
+    recorder = TraceRecorder()
+    profiler = KernelProfiler(clock=clock, recorder=recorder)
+    profiler.start()
+    clock.advance(1.0)
+    profiler.reset()
+    # The interrupted app span was closed (flagged abandoned) so the
+    # recorder's nesting stack stays clean for the next run.
+    abandoned = [s for s in recorder.spans if s.attrs.get("abandoned")]
+    assert len(abandoned) == 1
+    with profiler.run():
+        with profiler.kernel("A"):
+            clock.advance(1.0)
+    fresh = [s for s in recorder.spans if not s.attrs.get("abandoned")]
+    assert sorted(s.name for s in fresh) == ["A", "app"]
+    kernel = next(s for s in fresh if s.name == "A")
+    app = next(s for s in fresh if s.name == "app")
+    assert kernel.depth == 1 and kernel.parent == app.seq
+
+
 def test_exception_inside_kernel_still_attributes():
     clock = FakeClock()
     profiler = KernelProfiler(clock=clock)

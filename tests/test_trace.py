@@ -79,6 +79,32 @@ class TestTracedArithmetic:
             _ = a + b
 
 
+class TestTracerDeterminism:
+    def test_node_ids_are_per_tracer(self):
+        """Fresh tracers start numbering at 0, whatever traced earlier."""
+        first = Tracer()
+        first.constants([1.0, 2.0, 3.0])  # pollute the "process"
+        fresh = Tracer()
+        leaf = fresh.constant(5.0)
+        assert leaf.node == 0
+        assert (leaf + 1.0).node == 2  # leaf, coerced constant, then the add
+
+    def test_identical_traces_produce_identical_graphs(self):
+        """Repeated limit-study traces are comparable node-for-node."""
+        def trace_once():
+            tracer = Tracer()
+            values = tracer.constants([1.0, 2.0, 3.0, 4.0])
+            tree_sum(values)
+            return tracer
+
+        one, two = trace_once(), trace_once()
+        assert one.work == two.work
+        assert one.span == two.span
+        assert len(one.graph) == len(two.graph)
+        # Same ids in both graphs: 0..n-1, regardless of trace order.
+        assert all(node in two.graph for node in range(len(one.graph)))
+
+
 class TestTreeReduce:
     def test_sum_correct(self):
         tracer = Tracer()
