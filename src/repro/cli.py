@@ -12,12 +12,21 @@ Subcommands::
     sdvbs trace disparity --size CIF --out trace.json
                                     # per-call spans -> chrome://tracing
     sdvbs compare base.json cand.json   # median speedups + noise verdicts
+    sdvbs verify-backends           # ref-vs-fast kernel agreement table
 
 ``run``/``figure2``/``figure3`` accept the robust-measurement knobs
 ``--repeats N`` (retained runs per cell, aggregated into
 min/median/mean/stddev), ``--warmup N`` (discarded runs) and ``--jobs N``
 (worker processes across the benchmark grid), plus ``--events PATH`` to
 record every kernel call into a structured JSONL event log.
+
+``run``/``figure2``/``figure3``/``trace`` also accept ``--backend
+{ref,fast}`` (see KERNELS.md): ``fast`` (default) measures the
+numpy-vectorized kernel implementations, ``ref`` the loop-faithful
+reference nests mirroring the original C suite.  The selection is
+recorded in the run manifest, and ``sdvbs verify-backends`` checks the
+two backends agree within documented tolerances on the deterministic
+input generators.
 """
 
 from __future__ import annotations
@@ -82,6 +91,15 @@ def _add_measurement_flags(parser: argparse.ArgumentParser) -> None:
                         help="record one span per kernel call and write a "
                         "structured JSONL event log (with manifest header) "
                         "to PATH")
+    _add_backend_flag(parser)
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=["ref", "fast"], default=None,
+                        help="kernel execution backend: 'fast' runs the "
+                        "vectorized implementations (default), 'ref' the "
+                        "loop-faithful reference nests; recorded in the "
+                        "run manifest (see KERNELS.md)")
 
 
 def _write_events(path: Optional[str], recorder: Optional[TraceRecorder],
@@ -105,8 +123,8 @@ def _run_trace(args: argparse.Namespace, cli_argv: List[str]) -> int:
     recorder = TraceRecorder(track_memory=args.memory)
     try:
         run = run_benchmark(benchmark, args.size, args.variant,
-                            recorder=recorder)
-        manifest = run_manifest(argv=cli_argv)
+                            recorder=recorder, backend=args.backend)
+        manifest = run_manifest(argv=cli_argv, backend=args.backend)
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(chrome_trace_json(recorder.spans, manifest))
         _write_events(args.events, recorder, manifest)
@@ -121,6 +139,32 @@ def _run_trace(args: argparse.Namespace, cli_argv: List[str]) -> int:
           f"traced) to {destinations}; load in chrome://tracing or "
           "https://ui.perfetto.dev")
     return 0
+
+
+def _run_verify_backends(args: argparse.Namespace) -> int:
+    """``sdvbs verify-backends``: ref/fast agreement on seeded inputs."""
+    from .core.backend import load_all_kernels
+    from .core.equivalence import render_equivalence, verify_backends
+
+    load_all_kernels()
+    sizes = _parse_sizes(args.sizes)
+    variants = list(range(max(1, min(5, args.variants))))
+    kernels = args.kernels or None
+    try:
+        verdicts = verify_backends(sizes=sizes, variants=variants,
+                                   kernels=kernels)
+    except KeyError as exc:
+        print(f"sdvbs verify-backends: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if kernels:
+        found = {v.kernel for v in verdicts}
+        missing = sorted(set(kernels) - found)
+        if missing:
+            print(f"sdvbs verify-backends: unknown kernels: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            return 2
+    print(render_equivalence(verdicts))
+    return 0 if all(v.ok for v in verdicts) else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -162,6 +206,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_parser.add_argument("--top", type=int, default=10, metavar="N",
                               help="slowest invocations to print "
                               "(default: 10)")
+    _add_backend_flag(trace_parser)
+
+    verify_parser = sub.add_parser(
+        "verify-backends",
+        help="run every dual-backend kernel under both ref and fast on "
+        "the deterministic input generators and check tolerance-bounded "
+        "agreement (exit 1 on any mismatch)",
+    )
+    verify_parser.add_argument("--sizes", nargs="*", metavar="SIZE",
+                               type=_size_arg,
+                               help="SQCIF/QCIF/CIF, case-insensitive "
+                               "(default: all three)")
+    verify_parser.add_argument("--variants", type=int, default=1,
+                               metavar="N",
+                               help="input variants checked per size, 1-5 "
+                               "(default: 1)")
+    verify_parser.add_argument("--kernels", nargs="*", metavar="NAME",
+                               help="restrict to the named kernels (e.g. "
+                               "disparity.ssd; default: all registered)")
 
     run_parser = sub.add_parser("run", help="run benchmarks and profile")
     run_parser.add_argument("slugs", nargs="*", help="benchmark slugs "
@@ -178,12 +241,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_measurement_flags(run_parser)
 
     fig2_parser = sub.add_parser("figure2", help="execution-time scaling")
-    fig2_parser.add_argument("--variants", type=int, default=1)
+    fig2_parser.add_argument("--variants", type=int, default=1, metavar="N",
+                             help="input variants per size, 1-5 "
+                             "(default: 1)")
     _add_measurement_flags(fig2_parser)
 
     fig3_parser = sub.add_parser("figure3", help="kernel occupancy")
-    fig3_parser.add_argument("slugs", nargs="*")
-    fig3_parser.add_argument("--variants", type=int, default=1)
+    fig3_parser.add_argument("slugs", nargs="*",
+                             help="benchmark slugs (default: all)")
+    fig3_parser.add_argument("--variants", type=int, default=1, metavar="N",
+                             help="input variants per size, 1-5 "
+                             "(default: 1)")
     _add_measurement_flags(fig3_parser)
 
     compare_parser = sub.add_parser(
@@ -214,12 +282,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _run_trace(args, cli_argv)
+    if args.command == "verify-backends":
+        return _run_verify_backends(args)
 
     variants = list(range(max(1, min(5, getattr(args, "variants", 1)))))
     measurement = {
         "warmup": max(0, getattr(args, "warmup", 0)),
         "repeats": max(1, getattr(args, "repeats", 1)),
         "jobs": max(1, getattr(args, "jobs", 1)),
+        "backend": getattr(args, "backend", None),
     }
     manifest = run_manifest(argv=cli_argv, **measurement)
     recorder = TraceRecorder() if getattr(args, "events", None) else None

@@ -23,6 +23,11 @@ per-kernel timing):
   :class:`~repro.core.tracing.TraceRecorder`; when attached, every kernel
   call and whole-app run emits a span (pool workers record locally and
   their spans are serialized back to the parent recorder).
+* Both entry points accept ``backend`` (``"ref"`` or ``"fast"``, see
+  :mod:`repro.core.backend`): the loop-faithful reference vs the
+  vectorized production path, selected suite-wide for the duration of
+  the run (worker processes re-select it locally).  ``None`` keeps the
+  process's current selection (``"fast"`` by default).
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from __future__ import annotations
 import warnings
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from .backend import use_backend
 from .profiler import KernelProfiler
 from .registry import Benchmark, all_benchmarks, get_benchmark
 from .tracing import TraceRecorder
@@ -69,6 +75,7 @@ def run_benchmark(
     repeats: int = 1,
     clock: Optional[Clock] = None,
     recorder: Optional[TraceRecorder] = None,
+    backend: Optional[str] = None,
 ) -> BenchmarkRun:
     """Run one application and return its timed record.
 
@@ -86,43 +93,49 @@ def run_benchmark(
     ``recorder`` attached, every execution (warmup runs included, tagged
     ``phase="warmup"``) emits one span per kernel call plus an app span,
     stamped with the (benchmark, size, variant, repeat) context.
+
+    ``backend`` scopes the dual-backend kernel selection around the
+    whole run (setup included, so data-dependent control flow sees
+    consistent numerics); the previous selection is restored on return.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
-    workload = benchmark.setup(size, variant)
-    for index in range(warmup):
-        if recorder is not None:
-            recorder.set_context(benchmark=benchmark.slug, size=size.name,
-                                 variant=variant, repeat=index,
-                                 phase="warmup")
-        _measure_once(benchmark, workload, clock, recorder)
+    with use_backend(backend):
+        workload = benchmark.setup(size, variant)
+        for index in range(warmup):
+            if recorder is not None:
+                recorder.set_context(benchmark=benchmark.slug, size=size.name,
+                                     variant=variant, repeat=index,
+                                     phase="warmup")
+            _measure_once(benchmark, workload, clock, recorder)
 
-    total_samples: List[float] = []
-    kernel_samples: dict = {}
-    kernel_calls: dict = {}
-    outputs: dict = {}
-    for index in range(repeats):
-        if recorder is not None:
-            recorder.set_context(benchmark=benchmark.slug, size=size.name,
-                                 variant=variant, repeat=index,
-                                 phase="measure")
-        profiler, outputs = _measure_once(benchmark, workload, clock,
-                                          recorder)
-        total_samples.append(profiler.total_seconds)
-        seconds = profiler.kernel_seconds
-        for name, value in seconds.items():
-            kernel_samples.setdefault(name, []).append(value)
-        if index == 0:
-            kernel_calls = profiler.kernel_calls
-        elif profiler.kernel_calls != kernel_calls:
-            warnings.warn(
-                f"{benchmark.slug}@{size.name} variant {variant}: kernel "
-                "call counts differ between repeats; keeping the first run's",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        total_samples: List[float] = []
+        kernel_samples: dict = {}
+        kernel_calls: dict = {}
+        outputs: dict = {}
+        for index in range(repeats):
+            if recorder is not None:
+                recorder.set_context(benchmark=benchmark.slug, size=size.name,
+                                     variant=variant, repeat=index,
+                                     phase="measure")
+            profiler, outputs = _measure_once(benchmark, workload, clock,
+                                              recorder)
+            total_samples.append(profiler.total_seconds)
+            seconds = profiler.kernel_seconds
+            for name, value in seconds.items():
+                kernel_samples.setdefault(name, []).append(value)
+            if index == 0:
+                kernel_calls = profiler.kernel_calls
+            elif profiler.kernel_calls != kernel_calls:
+                warnings.warn(
+                    f"{benchmark.slug}@{size.name} variant {variant}: kernel "
+                    "call counts differ between repeats; keeping the first "
+                    "run's",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     # A kernel observed in only some repeats (data-dependent path) gets
     # zero-second samples for the runs that skipped it, so every kernel's
     # RunStats spans all repeats.
@@ -159,6 +172,7 @@ def _run_cell(
     repeats: int,
     trace: bool = False,
     track_memory: bool = False,
+    backend: Optional[str] = None,
 ) -> Tuple[BenchmarkRun, Optional[List[dict]]]:
     """Worker entry point: one grid cell, addressed by picklable keys.
 
@@ -166,7 +180,8 @@ def _run_cell(
     the benchmark registry re-loads lazily inside each worker process.
     With ``trace=True`` the cell records into a local
     :class:`TraceRecorder` and ships its spans back as plain dictionaries
-    for the parent recorder to absorb.
+    for the parent recorder to absorb.  ``backend`` is re-selected inside
+    the worker (backend state is per-process, not inherited).
     """
     recorder = TraceRecorder(track_memory=track_memory) if trace else None
     run = run_benchmark(
@@ -176,6 +191,7 @@ def _run_cell(
         warmup=warmup,
         repeats=repeats,
         recorder=recorder,
+        backend=backend,
     )
     # Outputs may hold arbitrarily large (or unpicklable) application
     # objects; the suite reports only consume timing, so drop them before
@@ -195,6 +211,7 @@ def run_suite(
     repeats: int = 1,
     jobs: int = 1,
     recorder: Optional[TraceRecorder] = None,
+    backend: Optional[str] = None,
 ) -> SuiteResult:
     """Run the selected applications over ``sizes`` x ``variants``.
 
@@ -213,6 +230,10 @@ def run_suite(
     parallel path each worker records locally and its spans are shipped
     back and absorbed in grid order, one ``track`` lane per cell (each
     worker has its own t=0).
+
+    ``backend`` selects the dual-backend kernel implementations for the
+    whole grid — serial cells run inside a scoped selection, parallel
+    workers re-select it per process.
     """
     if slugs is None:
         benchmarks = all_benchmarks()
@@ -230,7 +251,8 @@ def run_suite(
         runs = _run_grid_parallel(grid, warmup, repeats, jobs,
                                   trace=recorder is not None,
                                   track_memory=recorder is not None
-                                  and recorder.track_memory)
+                                  and recorder.track_memory,
+                                  backend=backend)
         if runs is not None:
             for index, (run, spans) in enumerate(runs):
                 result.runs.append(run)
@@ -245,7 +267,8 @@ def run_suite(
     for benchmark, size, variant in grid:
         result.runs.append(
             run_benchmark(benchmark, size, variant,
-                          warmup=warmup, repeats=repeats, recorder=recorder)
+                          warmup=warmup, repeats=repeats, recorder=recorder,
+                          backend=backend)
         )
     return result
 
@@ -257,6 +280,7 @@ def _run_grid_parallel(
     jobs: int,
     trace: bool = False,
     track_memory: bool = False,
+    backend: Optional[str] = None,
 ) -> Optional[List[Tuple[BenchmarkRun, Optional[List[dict]]]]]:
     """Execute the grid on a process pool; ``None`` if the pool fails."""
     import concurrent.futures
@@ -268,7 +292,7 @@ def _run_grid_parallel(
         ) as pool:
             futures = [
                 pool.submit(_run_cell, benchmark.slug, size.name, variant,
-                            warmup, repeats, trace, track_memory)
+                            warmup, repeats, trace, track_memory, backend)
                 for benchmark, size, variant in grid
             ]
             # Collect in submission order: deterministic results no matter

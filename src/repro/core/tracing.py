@@ -340,13 +340,20 @@ def ensure_recorder(recorder: Optional[TraceRecorder]) -> TraceRecorder:
 
 def run_manifest(argv: Optional[Sequence[str]] = None,
                  warmup: int = 0, repeats: int = 1,
-                 jobs: int = 1) -> Dict[str, object]:
+                 jobs: int = 1,
+                 backend: Optional[str] = None) -> Dict[str, object]:
     """The reproducibility header attached to JSON exports and traces.
 
     Records the Table III host rows (:func:`system_configuration`), the
     software versions that determine numeric behaviour, the CLI arguments
-    that produced the run and the measurement knobs.
+    that produced the run, the measurement knobs, and the kernel
+    execution backend (``measurement.backend``: loop-faithful ``ref`` vs
+    vectorized ``fast`` — timings from the two are not comparable, so
+    every export says which one it measured).  ``backend=None`` records
+    the process's current selection.
     """
+    from .backend import active_backend
+
     try:
         import numpy
         numpy_version = numpy.__version__
@@ -360,7 +367,8 @@ def run_manifest(argv: Optional[Sequence[str]] = None,
         "python": platform.python_version(),
         "numpy": numpy_version,
         "argv": list(argv) if argv is not None else [],
-        "measurement": {"warmup": warmup, "repeats": repeats, "jobs": jobs},
+        "measurement": {"warmup": warmup, "repeats": repeats, "jobs": jobs,
+                        "backend": backend or active_backend()},
     }
 
 

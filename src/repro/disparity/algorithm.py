@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.backend import register_kernel
 from ..core.profiler import KernelProfiler, ensure_profiler
 from ..imgproc.convolution import convolve_separable
 from ..imgproc.integral import integral_image
@@ -59,6 +60,31 @@ def shift_right(image: np.ndarray, d: int) -> np.ndarray:
     return out
 
 
+def _ssd_map_ref(left: np.ndarray, right: np.ndarray, d: int) -> np.ndarray:
+    """Loop-faithful SSD: one scalar subtract/square per (pixel, shift).
+
+    The column clamp reproduces :func:`shift_right`'s replicated border
+    (``right[r, 0]`` for columns left of the shift).
+    """
+    if d < 0:
+        raise ValueError("shift must be non-negative")
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    rows, cols = left.shape
+    out = np.empty((rows, cols), dtype=np.float64)
+    for r in range(rows):
+        for c in range(cols):
+            diff = left[r, c] - right[r, c - d if c >= d else 0]
+            out[r, c] = diff * diff
+    return out
+
+
+@register_kernel(
+    "disparity.ssd",
+    paper_kernel="SSD",
+    apps=("disparity",),
+    ref=_ssd_map_ref,
+)
 def ssd_map(left: np.ndarray, right: np.ndarray, d: int) -> np.ndarray:
     """Per-pixel squared difference for candidate disparity ``d``."""
     diff = left - shift_right(right, d)

@@ -10,12 +10,18 @@ stitch and texture benchmarks.
 All functions use correlation orientation (no kernel flip) with replicate
 borders and return an array of the input's shape, matching the C suite's
 ``imageBlur``-family helpers.
+
+Each public entry point is a dual-backend kernel (see
+:mod:`repro.core.backend`): the vectorized bodies below are the ``fast``
+path, and the ``_*_ref`` loop nests mirror the original C suite's
+per-pixel/per-tap loops statement for statement.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.backend import register_kernel
 from .pad import pad
 
 
@@ -28,6 +34,30 @@ def _check_kernel_1d(kernel: np.ndarray) -> np.ndarray:
     return kernel
 
 
+def _convolve_rows_ref(image: np.ndarray, kernel: np.ndarray,
+                       mode: str = "replicate") -> np.ndarray:
+    """Loop-faithful row correlation (the C suite's per-pixel tap loop)."""
+    kernel = _check_kernel_1d(kernel)
+    half = kernel.size // 2
+    image = np.asarray(image, dtype=np.float64)
+    padded = pad(image, half, mode)
+    rows, cols = image.shape
+    out = np.zeros((rows, cols), dtype=np.float64)
+    for r in range(rows):
+        for c in range(cols):
+            acc = 0.0
+            for tap in range(kernel.size):
+                acc += kernel[tap] * padded[half + r, c + tap]
+            out[r, c] = acc
+    return out
+
+
+@register_kernel(
+    "imgproc.convolve_rows",
+    paper_kernel="Filter (1-D row pass)",
+    apps=("disparity", "tracking", "sift", "stitch", "texture"),
+    ref=_convolve_rows_ref,
+)
 def convolve_rows(image: np.ndarray, kernel: np.ndarray,
                   mode: str = "replicate") -> np.ndarray:
     """Correlate every row of ``image`` with a 1-D ``kernel``."""
@@ -41,6 +71,30 @@ def convolve_rows(image: np.ndarray, kernel: np.ndarray,
     return out
 
 
+def _convolve_cols_ref(image: np.ndarray, kernel: np.ndarray,
+                       mode: str = "replicate") -> np.ndarray:
+    """Loop-faithful column correlation (per-pixel tap loop)."""
+    kernel = _check_kernel_1d(kernel)
+    half = kernel.size // 2
+    image = np.asarray(image, dtype=np.float64)
+    padded = pad(image, half, mode)
+    rows, cols = image.shape
+    out = np.zeros((rows, cols), dtype=np.float64)
+    for r in range(rows):
+        for c in range(cols):
+            acc = 0.0
+            for tap in range(kernel.size):
+                acc += kernel[tap] * padded[r + tap, half + c]
+            out[r, c] = acc
+    return out
+
+
+@register_kernel(
+    "imgproc.convolve_cols",
+    paper_kernel="Filter (1-D column pass)",
+    apps=("disparity", "tracking", "sift", "stitch", "texture"),
+    ref=_convolve_cols_ref,
+)
 def convolve_cols(image: np.ndarray, kernel: np.ndarray,
                   mode: str = "replicate") -> np.ndarray:
     """Correlate every column of ``image`` with a 1-D ``kernel``."""
@@ -65,6 +119,46 @@ def convolve_separable(image: np.ndarray, row_kernel: np.ndarray,
     return convolve_rows(convolve_cols(image, col_kernel, mode), row_kernel, mode)
 
 
+def _convolve2d_ref(image: np.ndarray, kernel: np.ndarray,
+                    mode: str = "replicate") -> np.ndarray:
+    """Loop-faithful 2-D correlation: four nested loops, zero taps kept.
+
+    Mirrors the fast path's accumulation order (kernel row-major) so the
+    two backends agree to round-off.
+    """
+    kernel = np.asarray(kernel, dtype=np.float64)
+    if kernel.ndim != 2 or kernel.size == 0:
+        raise ValueError("2-D kernel required")
+    krows, kcols = kernel.shape
+    if krows % 2 == 0 or kcols % 2 == 0:
+        raise ValueError("kernel sides must be odd for centred filtering")
+    half_r, half_c = krows // 2, kcols // 2
+    half = max(half_r, half_c)
+    image = np.asarray(image, dtype=np.float64)
+    padded = pad(image, half, mode)
+    rows, cols = image.shape
+    out = np.zeros((rows, cols), dtype=np.float64)
+    row_base = half - half_r
+    col_base = half - half_c
+    for r in range(rows):
+        for c in range(cols):
+            acc = 0.0
+            for kr in range(krows):
+                for kc in range(kcols):
+                    weight = kernel[kr, kc]
+                    if weight == 0.0:
+                        continue
+                    acc += weight * padded[row_base + kr + r, col_base + kc + c]
+            out[r, c] = acc
+    return out
+
+
+@register_kernel(
+    "imgproc.convolve2d",
+    paper_kernel="Convolution",
+    apps=("stitch", "texture"),
+    ref=_convolve2d_ref,
+)
 def convolve2d(image: np.ndarray, kernel: np.ndarray,
                mode: str = "replicate") -> np.ndarray:
     """Full 2-D correlation with an odd-sized kernel."""

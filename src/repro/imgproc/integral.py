@@ -15,7 +15,43 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backend import register_kernel
 
+
+def _integral_image_ref(image: np.ndarray) -> np.ndarray:
+    """Loop-faithful double scan: column prefix sums, then row prefix sums.
+
+    The serial accumulation chains are exactly the C suite's structure;
+    the scan order (columns first) mirrors the fast path's
+    ``cumsum(axis=0).cumsum(axis=1)`` so the two backends differ only by
+    reassociated additions.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    rows, cols = image.shape
+    out = np.zeros((rows + 1, cols + 1), dtype=np.float64)
+    for c in range(cols):
+        acc = 0.0
+        for r in range(rows):
+            acc += image[r, c]
+            out[r + 1, c + 1] = acc
+    for r in range(rows):
+        acc = 0.0
+        for c in range(cols):
+            acc += out[r + 1, c + 1]
+            out[r + 1, c + 1] = acc
+    return out
+
+
+@register_kernel(
+    "imgproc.integral_image",
+    paper_kernel="Integral Image",
+    apps=("disparity", "tracking", "sift", "face"),
+    ref=_integral_image_ref,
+    rtol=1e-9,
+    atol=1e-9,
+)
 def integral_image(image: np.ndarray) -> np.ndarray:
     """Summed-area table with a leading zero row/column.
 

@@ -10,7 +10,47 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backend import register_kernel
 
+
+def _bilinear_ref(image: np.ndarray, rows: np.ndarray,
+                  cols: np.ndarray) -> np.ndarray:
+    """Loop-faithful bilinear sampling: one scalar 4-tap blend per query.
+
+    Same clamp/floor/blend sequence as the vectorized path, evaluated
+    per position in a plain Python loop (the C suite's per-sample code).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    height, width = image.shape
+    r_in = np.asarray(rows, dtype=np.float64)
+    c_in = np.asarray(cols, dtype=np.float64)
+    shape = np.broadcast(r_in, c_in).shape
+    r_flat = np.broadcast_to(r_in, shape).ravel()
+    c_flat = np.broadcast_to(c_in, shape).ravel()
+    out = np.empty(r_flat.size, dtype=np.float64)
+    for i in range(r_flat.size):
+        r = min(max(float(r_flat[i]), 0.0), height - 1.0)
+        c = min(max(float(c_flat[i]), 0.0), width - 1.0)
+        r0 = int(np.floor(r))
+        c0 = int(np.floor(c))
+        r1 = min(r0 + 1, height - 1)
+        c1 = min(c0 + 1, width - 1)
+        fr = r - r0
+        fc = c - c0
+        top = image[r0, c0] * (1.0 - fc) + image[r0, c1] * fc
+        bottom = image[r1, c0] * (1.0 - fc) + image[r1, c1] * fc
+        out[i] = top * (1.0 - fr) + bottom * fr
+    return out.reshape(shape)
+
+
+@register_kernel(
+    "imgproc.bilinear",
+    paper_kernel="Interpolation",
+    apps=("sift", "tracking", "stitch"),
+    ref=_bilinear_ref,
+)
 def bilinear(image: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
     """Sample ``image`` at fractional ``(rows, cols)`` positions.
 

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.backend import register_kernel
 from ..core.profiler import KernelProfiler, ensure_profiler
 from ..imgproc.gradient import gradient
 from .keypoints import Keypoint
@@ -90,6 +91,64 @@ def dominant_orientations(hist: np.ndarray,
     return angles
 
 
+def _descriptor_at_ref(
+    magnitude: np.ndarray,
+    angle: np.ndarray,
+    row: float,
+    col: float,
+    orientation: float,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Loop-faithful descriptor: one scalar rotate/bin/accumulate per
+    sample of the 16x16 window, then the normalize/clip/renormalize tail.
+
+    Sample order matches the vectorized path's row-major ``np.add.at``
+    accumulation, so histogram bins agree to round-off.
+    """
+    rows, cols = magnitude.shape
+    half = DESCRIPTOR_GRID * 2
+    span = max(1.0, scale)
+    cos_o, sin_o = math.cos(orientation), math.sin(orientation)
+    two_pi = 2.0 * math.pi
+    sigma_sq2 = 2.0 * (half * 0.6) ** 2
+    hist = np.zeros(DESCRIPTOR_GRID * DESCRIPTOR_GRID * DESCRIPTOR_BINS)
+    for sy in range(-half, half):
+        for sx in range(-half, half):
+            oy = (sy + 0.5) * span
+            ox = (sx + 0.5) * span
+            ry = int(np.rint(row + cos_o * oy - sin_o * ox))
+            rx = int(np.rint(col + sin_o * oy + cos_o * ox))
+            if not (0 <= ry < rows and 0 <= rx < cols):
+                continue
+            weight = math.exp(-(sy * sy + sx * sx) / sigma_sq2)
+            mag = magnitude[ry, rx] * weight
+            theta = (angle[ry, rx] - orientation) % two_pi
+            cell_y = ((sy + half) * DESCRIPTOR_GRID) // (2 * half)
+            cell_x = ((sx + half) * DESCRIPTOR_GRID) // (2 * half)
+            bin_index = min(int(theta / two_pi * DESCRIPTOR_BINS),
+                            DESCRIPTOR_BINS - 1)
+            flat = (cell_y * DESCRIPTOR_GRID + cell_x) * DESCRIPTOR_BINS \
+                + bin_index
+            hist[flat] += mag
+    desc = hist
+    norm = math.sqrt(float(sum(v * v for v in desc)))
+    if norm > 0:
+        desc = desc / norm
+        desc = np.minimum(desc, DESCRIPTOR_CLIP)
+        norm = math.sqrt(float(sum(v * v for v in desc)))
+        if norm > 0:
+            desc = desc / norm
+    return desc
+
+
+@register_kernel(
+    "sift.descriptor",
+    paper_kernel="SIFT (descriptor histogram)",
+    apps=("sift", "stitch"),
+    ref=_descriptor_at_ref,
+    rtol=1e-9,
+    atol=1e-9,
+)
 def descriptor_at(
     magnitude: np.ndarray,
     angle: np.ndarray,

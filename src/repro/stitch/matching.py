@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.backend import register_kernel
 from ..core.profiler import KernelProfiler, ensure_profiler
 from ..imgproc.filters import gaussian_blur
 from ..imgproc.interpolate import bilinear
@@ -58,6 +59,49 @@ def describe_corners(
     return described
 
 
+def _match_distances_ref(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Loop-faithful descriptor correlation: one scalar accumulation of
+    ``sum((a_i - b_j)^2)`` per candidate pair (the C suite's match loop).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n, m = a.shape[0], b.shape[0]
+    dim = a.shape[1]
+    d2 = np.empty((n, m), dtype=np.float64)
+    for i in range(n):
+        for j in range(m):
+            acc = 0.0
+            for k in range(dim):
+                diff = a[i, k] - b[j, k]
+                acc += diff * diff
+            d2[i, j] = acc
+    return d2
+
+
+@register_kernel(
+    "stitch.match_distances",
+    paper_kernel="Correlation (descriptor matching)",
+    apps=("stitch", "sift"),
+    ref=_match_distances_ref,
+    rtol=1e-8,
+    atol=1e-9,
+)
+def match_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs squared Euclidean distances between descriptor rows.
+
+    Vectorized via the expansion ``|x-y|^2 = |x|^2 + |y|^2 - 2 x.y`` —
+    a reassociated (and cancellation-prone) form of the reference's
+    direct difference accumulation, hence the looser tolerance.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return (
+        (a * a).sum(axis=1)[:, None]
+        + (b * b).sum(axis=1)[None, :]
+        - 2.0 * (a @ b.T)
+    )
+
+
 def match_features(
     first: Sequence[DescribedCorner],
     second: Sequence[DescribedCorner],
@@ -71,11 +115,7 @@ def match_features(
     with profiler.kernel("Match"):
         a = np.stack([f.descriptor for f in first])
         b = np.stack([f.descriptor for f in second])
-        d2 = (
-            (a * a).sum(axis=1)[:, None]
-            + (b * b).sum(axis=1)[None, :]
-            - 2.0 * (a @ b.T)
-        )
+        d2 = match_distances(a, b)
         matches = []
         for i in range(a.shape[0]):
             order = np.argsort(d2[i])

@@ -11,6 +11,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..core.backend import register_kernel
+
 KernelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
@@ -53,8 +55,41 @@ def rbf_kernel(gamma: float = 0.5) -> KernelFn:
     return apply
 
 
+def _gram_matrix_ref(kernel: KernelFn, points: np.ndarray) -> np.ndarray:
+    """Loop-faithful Gram construction: one kernel evaluation per pair.
+
+    The pair loops mirror the C suite's matrix-ops nest; each entry is
+    the kernel applied to a single (x_i, x_j) row pair, so the inner
+    product never goes through the blocked full-matrix BLAS path.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"expected (n, d) points, got shape {points.shape}")
+    n = points.shape[0]
+    gram = np.empty((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(n):
+            gram[i, j] = np.asarray(
+                kernel(points[i : i + 1], points[j : j + 1])
+            ).item()
+    return 0.5 * (gram + gram.T)  # symmetrize against round-off
+
+
+@register_kernel(
+    "svm.kernel_matrix",
+    paper_kernel="Matrix Ops (Gram construction)",
+    apps=("svm",),
+    ref=_gram_matrix_ref,
+    rtol=1e-8,
+    atol=1e-10,
+)
 def gram_matrix(kernel: KernelFn, points: np.ndarray) -> np.ndarray:
-    """Symmetric Gram matrix K[i, j] = k(x_i, x_j)."""
+    """Symmetric Gram matrix K[i, j] = k(x_i, x_j).
+
+    The whole-matrix kernel evaluation runs one blocked BLAS product;
+    its summation order differs from the reference's per-pair inner
+    products, hence the reduction-sized tolerance.
+    """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2:
         raise ValueError(f"expected (n, d) points, got shape {points.shape}")

@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..core.backend import register_kernel
 from ..core.profiler import KernelProfiler, ensure_profiler
 from ..imgproc.filters import binomial_blur
 from ..imgproc.gradient import gradient
@@ -71,6 +72,34 @@ def structure_tensor_fields(
     return sums[0], sums[1], sums[2]
 
 
+def _min_eigenvalue_map_ref(sxx: np.ndarray, sxy: np.ndarray,
+                            syy: np.ndarray) -> np.ndarray:
+    """Loop-faithful per-pixel 2x2 eigensolve (the suite's "matrix ops").
+
+    The closed-form smaller-eigenvalue arithmetic is evaluated one pixel
+    at a time in the same operation order as the vectorized path.
+    """
+    sxx = np.asarray(sxx, dtype=np.float64)
+    sxy = np.asarray(sxy, dtype=np.float64)
+    syy = np.asarray(syy, dtype=np.float64)
+    rows, cols = sxx.shape
+    out = np.empty((rows, cols), dtype=np.float64)
+    for r in range(rows):
+        for c in range(cols):
+            a, b, d = sxx[r, c], sxy[r, c], syy[r, c]
+            trace_half = 0.5 * (a + d)
+            radicand = 0.25 * (a - d) ** 2 + b * b
+            discriminant = np.sqrt(radicand if radicand > 0.0 else 0.0)
+            out[r, c] = trace_half - discriminant
+    return out
+
+
+@register_kernel(
+    "tracking.min_eigenvalue",
+    paper_kernel="Matrix Inversion (2x2 eigensolve)",
+    apps=("tracking",),
+    ref=_min_eigenvalue_map_ref,
+)
 def min_eigenvalue_map(sxx: np.ndarray, sxy: np.ndarray,
                        syy: np.ndarray) -> np.ndarray:
     """Smaller eigenvalue of the 2x2 structure tensor at every pixel."""

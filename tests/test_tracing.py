@@ -348,7 +348,7 @@ class TestManifest:
         assert manifest["schema"] == "sdvbs-repro/manifest/v1"
         assert manifest["argv"] == ["run", "--jobs", "2"]
         assert manifest["measurement"] == {"warmup": 1, "repeats": 3,
-                                           "jobs": 2}
+                                           "jobs": 2, "backend": "fast"}
         assert "Operating System" in manifest["host"]
         assert manifest["python"]
         assert manifest["numpy"]
