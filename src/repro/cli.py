@@ -13,6 +13,11 @@ Subcommands::
                                     # per-call spans -> chrome://tracing
     sdvbs compare base.json cand.json   # median speedups + noise verdicts
     sdvbs verify-backends           # ref-vs-fast kernel agreement table
+    sdvbs history record run.json   # ingest an export into the history DB
+    sdvbs history list              # recorded commits + cell counts
+    sdvbs history show <commit>     # per-cell medians of one commit
+    sdvbs regress run.json          # noise-aware regression gate (exit 1
+                                    # on confirmed >=k-sigma slowdowns)
 
 ``run``/``figure2``/``figure3`` accept the robust-measurement knobs
 ``--repeats N`` (retained runs per cell, aggregated into
@@ -46,6 +51,7 @@ from .core.report import (
     render_table3,
     render_table4,
     render_top_spans,
+    render_work_models,
 )
 from .core.tracing import (
     TraceRecorder,
@@ -120,16 +126,14 @@ def _run_trace(args: argparse.Namespace, cli_argv: List[str]) -> int:
     except KeyError as exc:
         print(f"sdvbs trace: {exc.args[0]}", file=sys.stderr)
         return 2
-    recorder = TraceRecorder(track_memory=args.memory)
-    try:
+    # Context-managed so tracemalloc stops even if the run raises.
+    with TraceRecorder(track_memory=args.memory) as recorder:
         run = run_benchmark(benchmark, args.size, args.variant,
                             recorder=recorder, backend=args.backend)
         manifest = run_manifest(argv=cli_argv, backend=args.backend)
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(chrome_trace_json(recorder.spans, manifest))
         _write_events(args.events, recorder, manifest)
-    finally:
-        recorder.finish()
     print(render_top_spans(recorder.spans, limit=args.top))
     print()
     print(render_kernel_drilldown(recorder.spans))
@@ -139,6 +143,148 @@ def _run_trace(args: argparse.Namespace, cli_argv: List[str]) -> int:
           f"traced) to {destinations}; load in chrome://tracing or "
           "https://ui.perfetto.dev")
     return 0
+
+
+def _load_result(path: str, command: str):
+    """Read a suite export for a subcommand, with a clean CLI error."""
+    from .core.export import result_from_json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return result_from_json(handle.read())
+    except (OSError, ValueError) as exc:
+        print(f"sdvbs {command}: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _run_history(args: argparse.Namespace) -> int:
+    """``sdvbs history record/list/show``: the persistent result store."""
+    from .core.history import open_history
+    from .core.report import format_table
+
+    with open_history(args.db) as store:
+        if args.history_command == "record":
+            result = _load_result(args.result, "history record")
+            if result is None:
+                return 2
+            added = store.record(result, commit=args.commit)
+            total = len(store.entries())
+            print(f"recorded {len(added)} new cell(s) into {args.db} "
+                  f"({total} total)")
+            if added:
+                print(f"commit {added[0].commit} backend {added[0].backend} "
+                      f"manifest {added[0].manifest_hash}")
+            return 0
+        if args.history_command == "list":
+            commits = store.commits()
+            if not commits:
+                print(f"history {args.db} is empty")
+                return 0
+            rows = []
+            for commit in commits:
+                entries = store.entries(commit=commit)
+                benchmarks = sorted({e.benchmark for e in entries})
+                rows.append(
+                    (
+                        commit[:12],
+                        str(len(entries)),
+                        entries[-1].created,
+                        ", ".join(benchmarks[:4])
+                        + (", ..." if len(benchmarks) > 4 else ""),
+                    )
+                )
+            print(format_table(
+                ("Commit", "Cells", "Last recorded", "Benchmarks"),
+                rows,
+                title=f"Benchmark history ({args.db})",
+            ))
+            return 0
+        # show
+        matches = [c for c in store.commits()
+                   if c.startswith(args.commit)]
+        if not matches:
+            print(f"sdvbs history show: no commit matching "
+                  f"{args.commit!r} in {args.db}", file=sys.stderr)
+            return 2
+        if len(matches) > 1:
+            print(f"sdvbs history show: ambiguous prefix {args.commit!r} "
+                  f"({', '.join(c[:12] for c in matches)})", file=sys.stderr)
+            return 2
+        rows = []
+        for entry in store.entries(commit=matches[0]):
+            noise = "-" if entry.stddev is None \
+                else f"±{entry.stddev * 1000:.2f} ms"
+            rows.append(
+                (
+                    entry.benchmark,
+                    entry.size,
+                    f"{entry.median_seconds * 1000:.1f} ms",
+                    noise,
+                    str(entry.repeats),
+                    entry.backend,
+                    entry.manifest_hash,
+                )
+            )
+        print(format_table(
+            ("Benchmark", "Size", "Median", "Noise", "Repeats", "Backend",
+             "Manifest"),
+            rows,
+            title=f"History for commit {matches[0]}",
+        ))
+        return 0
+
+
+def _run_regress(args: argparse.Namespace) -> int:
+    """``sdvbs regress``: flag significant slowdowns vs a baseline."""
+    from .core.history import current_commit, open_history
+    from .core.regress import (
+        cells_from_entries,
+        cells_from_result,
+        detect_regressions,
+        render_regressions,
+        report_to_json,
+    )
+
+    candidate_result = _load_result(args.candidate, "regress")
+    if candidate_result is None:
+        return 2
+    candidate_cells = cells_from_result(candidate_result)
+    if args.against:
+        baseline_result = _load_result(args.against, "regress")
+        if baseline_result is None:
+            return 2
+        baseline_cells = cells_from_result(baseline_result)
+        baseline_label = args.against
+    else:
+        with open_history(args.db) as store:
+            commit = args.commit or current_commit()
+            baseline_commit = args.baseline_commit \
+                or store.latest_commit_before(commit)
+            if baseline_commit is None:
+                print(f"no baseline commit in {args.db} (candidate commit "
+                      f"{commit[:12]}); nothing to compare against")
+                return 0
+            entries = store.entries(commit=baseline_commit)
+        if not entries:
+            print(f"sdvbs regress: no history entries for baseline commit "
+                  f"{baseline_commit!r}", file=sys.stderr)
+            return 2
+        baseline_cells = cells_from_entries(entries)
+        baseline_label = f"commit {baseline_commit[:12]}"
+    report = detect_regressions(
+        baseline_cells,
+        candidate_cells,
+        sigmas=args.sigmas,
+        min_slowdown=args.min_slowdown,
+        baseline_label=baseline_label,
+        candidate_label=args.candidate,
+    )
+    print(render_regressions(report))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(report_to_json(report))
+        print(f"wrote machine-readable verdict to {args.json_out}")
+    return report.exit_code
 
 
 def _run_verify_backends(args: argparse.Namespace) -> int:
@@ -261,6 +407,76 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare_parser.add_argument("baseline", help="baseline JSON file")
     compare_parser.add_argument("candidate", help="candidate JSON file")
 
+    history_parser = sub.add_parser(
+        "history",
+        help="persistent benchmark history: record suite exports keyed by "
+        "commit, list and inspect them",
+    )
+    history_sub = history_parser.add_subparsers(dest="history_command",
+                                                required=True)
+    record_parser = history_sub.add_parser(
+        "record", help="ingest a suite export JSON into the history store")
+    record_parser.add_argument("result",
+                               help="suite export (from `sdvbs run --json`)")
+    record_parser.add_argument("--db", default="history.sqlite",
+                               metavar="PATH",
+                               help="history store path; *.jsonl selects "
+                               "the append-only text backend "
+                               "(default: history.sqlite)")
+    record_parser.add_argument("--commit", default=None, metavar="SHA",
+                               help="commit to record under (default: "
+                               "current git HEAD)")
+    list_parser = history_sub.add_parser(
+        "list", help="recorded commits with cell counts")
+    list_parser.add_argument("--db", default="history.sqlite",
+                             metavar="PATH",
+                             help="history store path "
+                             "(default: history.sqlite)")
+    show_parser = history_sub.add_parser(
+        "show", help="per-cell medians recorded for one commit")
+    show_parser.add_argument("commit",
+                             help="commit SHA (unambiguous prefix accepted)")
+    show_parser.add_argument("--db", default="history.sqlite",
+                             metavar="PATH",
+                             help="history store path "
+                             "(default: history.sqlite)")
+
+    regress_parser = sub.add_parser(
+        "regress",
+        help="compare a run against a baseline and fail (exit 1) on "
+        "slowdowns beyond the recorded noise",
+    )
+    regress_parser.add_argument("candidate",
+                                help="candidate suite export JSON")
+    regress_parser.add_argument("--against", default=None, metavar="PATH",
+                                help="baseline export JSON; default: the "
+                                "previous commit recorded in the history "
+                                "store")
+    regress_parser.add_argument("--db", default="history.sqlite",
+                                metavar="PATH",
+                                help="history store used when --against is "
+                                "not given (default: history.sqlite)")
+    regress_parser.add_argument("--commit", default=None, metavar="SHA",
+                                help="candidate commit id, used to pick the "
+                                "baseline from history (default: current "
+                                "git HEAD)")
+    regress_parser.add_argument("--baseline-commit", default=None,
+                                metavar="SHA",
+                                help="explicit baseline commit in the "
+                                "history store (default: the most recently "
+                                "recorded other commit)")
+    regress_parser.add_argument("--sigmas", type=float, default=2.0,
+                                metavar="K",
+                                help="significance threshold in units of "
+                                "combined recorded stddev (default: 2.0)")
+    regress_parser.add_argument("--min-slowdown", type=float, default=0.10,
+                                metavar="FRAC",
+                                help="minimum relative slowdown to flag, "
+                                "as a fraction (default: 0.10 = 10%%)")
+    regress_parser.add_argument("--json-out", default=None, metavar="PATH",
+                                help="also write the machine-readable "
+                                "verdict JSON to PATH")
+
     args = parser.parse_args(argv)
     cli_argv = list(argv) if argv is not None else list(sys.argv[1:])
 
@@ -276,6 +492,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "table4":
         print(render_table4())
+        print()
+        print(render_work_models())
         return 0
     if args.command == "sysinfo":
         print(render_table3())
@@ -284,6 +502,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace(args, cli_argv)
     if args.command == "verify-backends":
         return _run_verify_backends(args)
+    if args.command == "history":
+        return _run_history(args)
+    if args.command == "regress":
+        return _run_regress(args)
 
     variants = list(range(max(1, min(5, getattr(args, "variants", 1)))))
     measurement = {

@@ -37,9 +37,12 @@ numerical-divergence policy each tolerance implements.
 from __future__ import annotations
 
 import functools
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from . import metrics as _metrics
 
 #: The two execution backends, in documentation order.
 BACKENDS = ("ref", "fast")
@@ -66,6 +69,12 @@ class KernelSpec:
     the two backends (see KERNELS.md "when may fast diverge"): zero-cost
     dispatch differences need exact agreement, reassociated reductions
     (different summation order) are allowed round-off-sized drift.
+
+    ``work`` is the kernel's analytic *work model* (see
+    :mod:`repro.core.metrics`): a callable with the kernel's signature
+    returning a :class:`~repro.core.metrics.WorkEstimate` (flop and byte
+    counts) from the argument shapes alone.  When a metrics registry is
+    active, the dispatcher evaluates it per call.
     """
 
     name: str                      # registry key, e.g. "disparity.ssd"
@@ -77,6 +86,7 @@ class KernelSpec:
     atol: float = 1e-12
     doc: str = ""
     module: str = field(default="")
+    work: Optional[Callable] = None
 
     def backends(self) -> Tuple[str, ...]:
         """Backends this kernel actually implements."""
@@ -100,6 +110,39 @@ def _first_doc_line(fn: Callable) -> str:
     return lines[0] if lines else ""
 
 
+def _make_dispatch(spec: "KernelSpec", wrapped: Callable) -> Callable:
+    """The public wrapper for one kernel: backend dispatch + work accounting.
+
+    Without an active metrics registry (or without a work model) the
+    call costs one module-global read on top of the implementation —
+    the measured hot path is unchanged.  With one, the call is timed
+    and the work model's flop/byte estimate is recorded under the
+    kernel's registry name; an active span annotator (the trace
+    recorder) additionally receives the estimate for the innermost
+    open span.
+    """
+
+    @functools.wraps(wrapped)
+    def dispatch(*args, **kwargs):
+        impl = spec.implementation(_active)
+        registry = _metrics.active_metrics()
+        if registry is None or spec.work is None:
+            return impl(*args, **kwargs)
+        start = time.perf_counter()
+        out = impl(*args, **kwargs)
+        seconds = time.perf_counter() - start
+        estimate = spec.work(*args, **kwargs)
+        registry.record_work(spec.name, estimate, seconds)
+        annotator = _metrics.active_annotator()
+        if annotator is not None:
+            annotator.annotate_current(flops=estimate.flops,
+                                       traffic_bytes=estimate.traffic_bytes)
+        return out
+
+    dispatch.kernel_spec = spec  # type: ignore[attr-defined]
+    return dispatch
+
+
 def register_kernel(
     name: str,
     *,
@@ -109,6 +152,7 @@ def register_kernel(
     rtol: float = 1e-9,
     atol: float = 1e-12,
     doc: str = "",
+    work: Optional[Callable] = None,
 ) -> Callable[[Callable], Callable]:
     """Decorator: register the decorated function as the ``fast`` path.
 
@@ -138,15 +182,10 @@ def register_kernel(
             atol=atol,
             doc=doc or _first_doc_line(fast_fn),
             module=fast_fn.__module__,
+            work=work,
         )
         _register(spec)
-
-        @functools.wraps(fast_fn)
-        def dispatch(*args, **kwargs):
-            return spec.implementation(_active)(*args, **kwargs)
-
-        dispatch.kernel_spec = spec  # type: ignore[attr-defined]
-        return dispatch
+        return _make_dispatch(spec, fast_fn)
 
     return decorate
 
@@ -157,6 +196,7 @@ def register_ref_only(
     paper_kernel: str,
     apps: Sequence[str],
     doc: str = "",
+    work: Optional[Callable] = None,
 ) -> Callable[[Callable], Callable]:
     """Register a kernel that (so far) has only its reference path.
 
@@ -175,15 +215,10 @@ def register_ref_only(
             fast=None,
             doc=doc or _first_doc_line(ref_fn),
             module=ref_fn.__module__,
+            work=work,
         )
         _register(spec)
-
-        @functools.wraps(ref_fn)
-        def dispatch(*args, **kwargs):
-            return spec.implementation(_active)(*args, **kwargs)
-
-        dispatch.kernel_spec = spec  # type: ignore[attr-defined]
-        return dispatch
+        return _make_dispatch(spec, ref_fn)
 
     return decorate
 

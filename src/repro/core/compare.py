@@ -16,21 +16,29 @@ from .report import format_table
 from .types import NON_KERNEL_WORK, InputSize, SuiteResult
 
 
+#: Three-way significance verdicts produced by :meth:`SpeedupEntry.verdict`.
+VERDICT_SIGNIFICANT = "significant"
+VERDICT_WITHIN_NOISE = "within noise"
+VERDICT_INSUFFICIENT = "insufficient data"
+
+
 @dataclass(frozen=True)
 class SpeedupEntry:
     """One benchmark/size comparison.
 
     ``baseline_seconds``/``candidate_seconds`` are medians (per-cell
     repeat medians, then the median over variants); the stddevs are the
-    recorded measurement noise, 0.0 for single-shot runs.
+    recorded measurement noise, ``None`` when a side carries no repeat
+    statistics (single-shot runs, v1/v2 exports) — its noise is simply
+    unknown, which is not the same as zero.
     """
 
     benchmark: str
     size: InputSize
     baseline_seconds: float
     candidate_seconds: float
-    baseline_stddev: float = 0.0
-    candidate_stddev: float = 0.0
+    baseline_stddev: Optional[float] = None
+    candidate_stddev: Optional[float] = None
 
     @property
     def speedup(self) -> float:
@@ -39,18 +47,43 @@ class SpeedupEntry:
         return self.baseline_seconds / self.candidate_seconds
 
     @property
-    def noise(self) -> float:
-        """Combined measurement noise of the two sides (seconds)."""
+    def noise(self) -> Optional[float]:
+        """Combined measurement noise of the two sides (seconds).
+
+        ``None`` when either side carries no noise estimate — without
+        one, no statement about significance can be made.
+        """
+        if self.baseline_stddev is None or self.candidate_stddev is None:
+            return None
         return (self.baseline_stddev ** 2 + self.candidate_stddev ** 2) ** 0.5
 
     def is_significant(self, sigmas: float = 2.0) -> bool:
         """Whether the runtime change exceeds the recorded noise.
 
-        Single-shot runs carry no noise estimate, so any change counts as
-        significant (the historical behavior).
+        ``False`` when the noise is unknown: a run without repeat
+        statistics cannot support a significance claim (treating unknown
+        noise as 0.0 would make every nonzero delta "significant").
+        Use :meth:`verdict` to distinguish "within noise" from
+        "insufficient data".
         """
+        noise = self.noise
+        if noise is None:
+            return False
         delta = abs(self.baseline_seconds - self.candidate_seconds)
-        return delta > sigmas * self.noise
+        return delta > sigmas * noise
+
+    def verdict(self, sigmas: float = 2.0) -> str:
+        """Three-way significance call for this comparison.
+
+        ``"insufficient data"`` when either side lacks a noise estimate,
+        else ``"significant"`` / ``"within noise"`` per
+        :meth:`is_significant`.
+        """
+        if self.noise is None:
+            return VERDICT_INSUFFICIENT
+        if self.is_significant(sigmas):
+            return VERDICT_SIGNIFICANT
+        return VERDICT_WITHIN_NOISE
 
 
 def speedups(baseline: SuiteResult,
@@ -71,8 +104,8 @@ def speedups(baseline: SuiteResult,
                     size=size,
                     baseline_seconds=base,
                     candidate_seconds=cand,
-                    baseline_stddev=baseline.total_stddev(slug, size) or 0.0,
-                    candidate_stddev=candidate.total_stddev(slug, size) or 0.0,
+                    baseline_stddev=baseline.total_stddev(slug, size),
+                    candidate_stddev=candidate.total_stddev(slug, size),
                 )
             )
     return entries
@@ -118,9 +151,8 @@ def render_comparison(
         return "no comparable runs"
     rows: List[Tuple[str, str, str, str, str, str]] = []
     for entry in entries:
-        if entry.noise > 0.0 and not entry.is_significant():
-            verdict = "within noise"
-        else:
+        verdict = entry.verdict()
+        if verdict == VERDICT_SIGNIFICANT:
             verdict = "yes"
         rows.append(
             (

@@ -13,11 +13,17 @@ Schema history:
   recorded by the robust runner: per-run ``stats`` with ``warmup`` and
   min/median/mean/stddev + raw samples for the total and every kernel.
   v1 payloads remain readable (their runs carry no ``stats``).
-* ``sdvbs-repro/suite-result/v3`` (current) — every export carries a
+* ``sdvbs-repro/suite-result/v3`` — every export carries a
   ``manifest`` block (:func:`~repro.core.tracing.run_manifest`): the
   profiling host's Table III rows, Python/numpy versions, the CLI
   arguments and measurement knobs that produced the run.  v1/v2 payloads
   remain readable (their results carry no manifest).
+* ``sdvbs-repro/suite-result/v4`` (current) — per-run ``metrics`` block
+  (:meth:`~repro.core.metrics.MetricsRegistry.to_dict`): profiler-fed
+  counters and self-time histograms plus per-kernel analytic work
+  accounting — flops, traffic bytes, achieved GFLOP/s and GB/s,
+  arithmetic intensity.  v1-v3 payloads remain readable (their runs
+  carry no metrics).
 """
 
 from __future__ import annotations
@@ -31,10 +37,11 @@ from .types import AggregatedRun, BenchmarkRun, InputSize, RunStats, SuiteResult
 SCHEMA_V1 = "sdvbs-repro/suite-result/v1"
 SCHEMA_V2 = "sdvbs-repro/suite-result/v2"
 SCHEMA_V3 = "sdvbs-repro/suite-result/v3"
+SCHEMA_V4 = "sdvbs-repro/suite-result/v4"
 #: Schema written by :func:`result_to_dict`.
-CURRENT_SCHEMA = SCHEMA_V3
+CURRENT_SCHEMA = SCHEMA_V4
 #: Schemas :func:`result_from_dict` accepts.
-READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3)
+READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4)
 
 
 def _stats_to_dict(stats: AggregatedRun) -> Dict[str, object]:
@@ -74,6 +81,8 @@ def run_to_dict(run: BenchmarkRun) -> Dict[str, object]:
     }
     if run.stats is not None:
         payload["stats"] = _stats_to_dict(run.stats)
+    if run.metrics is not None:
+        payload["metrics"] = dict(run.metrics)
     return payload
 
 
@@ -108,11 +117,12 @@ def result_to_json(result: SuiteResult, indent: int = 2,
 def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     """Rebuild a :class:`SuiteResult` from :func:`result_to_dict` output.
 
-    Accepts the current v3 schema and legacy v1/v2 payloads (v1 runs
-    carry no repeat statistics; v1/v2 results carry no manifest).
-    ``outputs`` are not round-tripped (they were stringified); everything
-    the reports need — timings, attribution, measurement statistics and
-    the manifest — is restored exactly.
+    Accepts the current v4 schema and legacy v1-v3 payloads (v1 runs
+    carry no repeat statistics; v1/v2 results carry no manifest; v1-v3
+    runs carry no metrics).  ``outputs`` are not round-tripped (they were
+    stringified); everything the reports need — timings, attribution,
+    measurement statistics, work-accounting metrics and the manifest —
+    is restored exactly.
     """
     schema = payload.get("schema")
     if schema not in READABLE_SCHEMAS:
@@ -135,6 +145,9 @@ def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
         stats_payload: Optional[Dict[str, object]] = entry.get("stats")  # type: ignore[assignment]
         if stats_payload is not None:
             run.stats = _stats_from_dict(run, stats_payload)
+        metrics_payload: Optional[Dict[str, object]] = entry.get("metrics")  # type: ignore[assignment]
+        if metrics_payload is not None:
+            run.metrics = dict(metrics_payload)
         result.runs.append(run)
     return result
 

@@ -1,0 +1,374 @@
+"""Persistent benchmark history: an append-only on-disk result store.
+
+Regression tracking needs more than two JSON files on someone's laptop —
+it needs every measured run, keyed by the code revision that produced it,
+durable across sessions.  This module ingests suite exports
+(:func:`~repro.core.export.result_to_dict` payloads or live
+:class:`~repro.core.types.SuiteResult` objects) into per-cell rows keyed
+by ``(commit, benchmark, size, backend, manifest hash)``:
+
+* **commit** — the repository revision measured (``git rev-parse HEAD``,
+  or ``"unknown"`` outside a checkout).
+* **benchmark / size** — one suite grid cell, aggregated over variants
+  exactly like the comparison layer (median of per-cell medians, noise
+  combined root-sum-square).
+* **backend** — ``ref`` vs ``fast`` timings are not comparable, so they
+  never share a history key.
+* **manifest hash** — a stable digest of the run manifest minus its
+  timestamp; re-recording the same export is a no-op (append-only with
+  idempotent ingest), while a re-measurement of the same commit gets its
+  own row.
+
+Two interchangeable backends implement the store: :class:`SqliteHistory`
+(the default — one ``history.sqlite`` file, queryable with stock tooling)
+and :class:`JsonlHistory` (append-only text, for filesystems or builds
+where the :mod:`sqlite3` stdlib module is unavailable).
+:func:`open_history` picks by availability and file extension.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .types import InputSize, SuiteResult
+
+#: Schema identifier stamped on every JSONL history line.
+HISTORY_SCHEMA = "sdvbs-repro/history/v1"
+
+#: Commit recorded when the working directory is not a git checkout.
+UNKNOWN_COMMIT = "unknown"
+
+
+def current_commit(cwd: Optional[str] = None) -> str:
+    """The repository HEAD revision, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return UNKNOWN_COMMIT
+    if out.returncode != 0:
+        return UNKNOWN_COMMIT
+    revision = out.stdout.strip()
+    return revision if revision else UNKNOWN_COMMIT
+
+
+def manifest_hash(manifest: Optional[Dict[str, object]]) -> str:
+    """Stable digest of a run manifest, ignoring its creation timestamp.
+
+    Two runs with identical host, software and measurement configuration
+    hash identically even when taken at different times; an absent
+    manifest hashes to a fixed sentinel so pre-v3 exports remain
+    recordable.
+    """
+    if not manifest:
+        return hashlib.sha256(b"no-manifest").hexdigest()[:16]
+    payload = {k: v for k, v in manifest.items() if k != "created"}
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One recorded (commit, benchmark, size, backend, manifest) cell.
+
+    ``median_seconds`` is the comparison-layer headline (median over
+    variants of per-cell repeat medians); ``stddev`` is the combined
+    repeat noise or ``None`` when the run carried no repeat statistics
+    (single-shot — its noise is unknown, not zero).
+    """
+
+    commit: str
+    benchmark: str
+    size: str
+    backend: str
+    manifest_hash: str
+    created: str
+    median_seconds: float
+    stddev: Optional[float]
+    repeats: int
+    runs: int
+
+    @property
+    def key(self) -> Tuple[str, str, str, str, str]:
+        return (self.commit, self.benchmark, self.size, self.backend,
+                self.manifest_hash)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "HistoryEntry":
+        stddev = payload.get("stddev")
+        return cls(
+            commit=str(payload["commit"]),
+            benchmark=str(payload["benchmark"]),
+            size=str(payload["size"]),
+            backend=str(payload["backend"]),
+            manifest_hash=str(payload["manifest_hash"]),
+            created=str(payload["created"]),
+            median_seconds=float(payload["median_seconds"]),  # type: ignore[arg-type]
+            stddev=None if stddev is None else float(stddev),  # type: ignore[arg-type]
+            repeats=int(payload.get("repeats", 1)),  # type: ignore[arg-type]
+            runs=int(payload.get("runs", 1)),  # type: ignore[arg-type]
+        )
+
+
+def entries_from_result(result: SuiteResult,
+                        commit: Optional[str] = None) -> List[HistoryEntry]:
+    """Flatten a suite result into per-cell history entries.
+
+    ``commit=None`` stamps the current checkout's HEAD.  The backend and
+    manifest hash come from the result's manifest (absent pieces degrade
+    to ``"fast"`` / the no-manifest sentinel, so legacy exports record).
+    """
+    if commit is None:
+        commit = current_commit()
+    manifest = result.manifest or {}
+    measurement = manifest.get("measurement", {})
+    backend = "fast"
+    if isinstance(measurement, dict) and measurement.get("backend"):
+        backend = str(measurement["backend"])
+    digest = manifest_hash(result.manifest)
+    created = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    entries: List[HistoryEntry] = []
+    for slug in result.benchmarks():
+        for size in InputSize:
+            median = result.median_total(slug, size)
+            if median is None:
+                continue
+            cell = [run for run in result.runs
+                    if run.benchmark == slug and run.size == size]
+            repeats = max(
+                (run.stats.total.count for run in cell
+                 if run.stats is not None),
+                default=1,
+            )
+            entries.append(
+                HistoryEntry(
+                    commit=commit,
+                    benchmark=slug,
+                    size=size.name,
+                    backend=backend,
+                    manifest_hash=digest,
+                    created=created,
+                    median_seconds=median,
+                    stddev=result.total_stddev(slug, size),
+                    repeats=repeats,
+                    runs=len(cell),
+                )
+            )
+    return entries
+
+
+class HistoryStore:
+    """Common query/ingest logic over a backend-provided entry iterator.
+
+    Subclasses implement :meth:`_insert` (idempotent single-entry write,
+    returning whether the entry was new) and :meth:`_iter_entries`
+    (insertion-ordered read of everything on disk).
+    """
+
+    path: str
+
+    def record(self, result: SuiteResult,
+               commit: Optional[str] = None) -> List[HistoryEntry]:
+        """Ingest a suite result; returns the entries actually added.
+
+        Re-recording an identical export (same commit, cells, backend and
+        manifest hash) adds nothing — the store is append-only but the
+        ingest is idempotent.
+        """
+        added = []
+        for entry in entries_from_result(result, commit=commit):
+            if self._insert(entry):
+                added.append(entry)
+        return added
+
+    def entries(self, commit: Optional[str] = None,
+                benchmark: Optional[str] = None,
+                size: Optional[str] = None,
+                backend: Optional[str] = None) -> List[HistoryEntry]:
+        """Stored entries in insertion order, optionally filtered."""
+        out = []
+        for entry in self._iter_entries():
+            if commit is not None and entry.commit != commit:
+                continue
+            if benchmark is not None and entry.benchmark != benchmark:
+                continue
+            if size is not None and entry.size != size:
+                continue
+            if backend is not None and entry.backend != backend:
+                continue
+            out.append(entry)
+        return out
+
+    def commits(self) -> List[str]:
+        """Distinct commits in first-recorded order (oldest first)."""
+        seen: List[str] = []
+        for entry in self._iter_entries():
+            if entry.commit not in seen:
+                seen.append(entry.commit)
+        return seen
+
+    def latest_commit_before(self, commit: str) -> Optional[str]:
+        """The most recently recorded commit other than ``commit``.
+
+        The regression detector's default baseline: "whatever this store
+        saw last that isn't the revision under test".  ``None`` when the
+        store holds no other commit.
+        """
+        previous: Optional[str] = None
+        for entry in self._iter_entries():
+            if entry.commit != commit:
+                previous = entry.commit
+        return previous
+
+    def close(self) -> None:
+        """Release any backend resources (no-op by default)."""
+
+    def __enter__(self) -> "HistoryStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # Backend contract -------------------------------------------------
+
+    def _insert(self, entry: HistoryEntry) -> bool:
+        raise NotImplementedError
+
+    def _iter_entries(self) -> Iterable[HistoryEntry]:
+        raise NotImplementedError
+
+
+class SqliteHistory(HistoryStore):
+    """SQLite-backed history (the default store).
+
+    One ``history`` table with the five key columns as primary key;
+    ingest uses ``INSERT OR IGNORE`` so duplicate recordings are no-ops
+    at the database layer, immune to concurrent writers.
+    """
+
+    def __init__(self, path: str) -> None:
+        import sqlite3
+
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS history (
+                rowid_order INTEGER PRIMARY KEY AUTOINCREMENT,
+                commit_id TEXT NOT NULL,
+                benchmark TEXT NOT NULL,
+                size TEXT NOT NULL,
+                backend TEXT NOT NULL,
+                manifest_hash TEXT NOT NULL,
+                created TEXT NOT NULL,
+                median_seconds REAL NOT NULL,
+                stddev REAL,
+                repeats INTEGER NOT NULL,
+                runs INTEGER NOT NULL,
+                UNIQUE (commit_id, benchmark, size, backend, manifest_hash)
+            )
+            """
+        )
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def _insert(self, entry: HistoryEntry) -> bool:
+        cursor = self._conn.execute(
+            """
+            INSERT OR IGNORE INTO history
+                (commit_id, benchmark, size, backend, manifest_hash,
+                 created, median_seconds, stddev, repeats, runs)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            (entry.commit, entry.benchmark, entry.size, entry.backend,
+             entry.manifest_hash, entry.created, entry.median_seconds,
+             entry.stddev, entry.repeats, entry.runs),
+        )
+        self._conn.commit()
+        return cursor.rowcount > 0
+
+    def _iter_entries(self) -> Iterable[HistoryEntry]:
+        rows = self._conn.execute(
+            """
+            SELECT commit_id, benchmark, size, backend, manifest_hash,
+                   created, median_seconds, stddev, repeats, runs
+            FROM history ORDER BY rowid_order
+            """
+        )
+        for row in rows:
+            yield HistoryEntry(
+                commit=row[0], benchmark=row[1], size=row[2], backend=row[3],
+                manifest_hash=row[4], created=row[5],
+                median_seconds=float(row[6]),
+                stddev=None if row[7] is None else float(row[7]),
+                repeats=int(row[8]), runs=int(row[9]),
+            )
+
+
+class JsonlHistory(HistoryStore):
+    """Append-only JSONL history (the portable fallback).
+
+    One JSON object per line, each stamped with the history schema.
+    Dedup happens at ingest by scanning existing keys; corrupt or
+    truncated lines (a crashed writer) are skipped on read rather than
+    poisoning the whole store.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def _insert(self, entry: HistoryEntry) -> bool:
+        existing = {e.key for e in self._iter_entries()}
+        if entry.key in existing:
+            return False
+        line = json.dumps({"schema": HISTORY_SCHEMA, **entry.to_dict()},
+                          sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        return True
+
+    def _iter_entries(self) -> Iterable[HistoryEntry]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    yield HistoryEntry.from_dict(payload)
+                except (ValueError, KeyError, TypeError):
+                    continue
+
+
+def open_history(path: str) -> HistoryStore:
+    """Open (creating if needed) the history store at ``path``.
+
+    ``*.jsonl`` paths select the append-only text backend explicitly;
+    anything else gets SQLite when the :mod:`sqlite3` stdlib module is
+    importable and falls back to JSONL otherwise.
+    """
+    if path.endswith(".jsonl"):
+        return JsonlHistory(path)
+    try:
+        import sqlite3  # noqa: F401
+    except ImportError:
+        return JsonlHistory(path)
+    return SqliteHistory(path)

@@ -1,0 +1,305 @@
+"""Work-accounting metrics: counters, gauges, histograms, kernel work models.
+
+The paper characterizes SD-VBS by *time* (Figures 2/3) and by abstract
+dataflow *operations* (Table IV), but speedup studies on these kernels
+(Schwambach et al., arXiv:1502.07446) need the bridge between the two:
+how many arithmetic operations and memory bytes a kernel actually moves
+for a given input shape, and therefore what GFLOP/s, GB/s and
+arithmetic intensity an implementation achieves.  This module is that
+bridge:
+
+* :class:`MetricsRegistry` — a lightweight in-process sink for counters,
+  gauges and histograms.  :class:`~repro.core.profiler.KernelProfiler`
+  and :class:`~repro.core.tracing.TraceRecorder` feed it when one is
+  attached, and the dual-backend dispatcher records *work* into it.
+* :class:`WorkEstimate` / *work models* — every kernel registered in
+  :mod:`repro.core.backend` can carry an analytic model mapping its call
+  arguments (shapes only; values are never read) to flop and byte
+  counts.  The dispatcher evaluates the model per call and accumulates
+  per-kernel :class:`KernelWork` totals, from which achieved GFLOP/s,
+  GB/s and flop/byte arithmetic intensity follow.
+* :func:`use_metrics` — scoped selection of the process-wide active
+  registry (mirroring :func:`repro.core.backend.use_backend`), so the
+  dispatcher needs no threading of arguments through application code.
+* :func:`analytic_work` — evaluate a kernel's work model on the
+  deterministic equivalence-case inputs at a given
+  :class:`~repro.core.types.InputSize`, without running the kernel;
+  this powers the work-model table of ``sdvbs table4`` and KERNELS.md.
+
+Byte counts follow the roofline convention: each input operand is read
+once and each output written once (8 bytes per float64 element), i.e.
+compulsory traffic, not cache-level traffic.  Flop counts tally the
+arithmetic of the loop nest (one add/sub/mul/div/sqrt/exp = 1 flop).
+Both are *models* — documented, deterministic functions of shape — so
+recorded intensities are comparable across hosts and backends.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: A work model: same signature as its kernel, returns a WorkEstimate.
+WorkModel = Callable[..., "WorkEstimate"]
+
+#: Bytes per element for the suite's float64 arrays.
+FLOAT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class WorkEstimate:
+    """Analytic work of one kernel call: flop and byte counts.
+
+    ``flops`` counts arithmetic operations, ``traffic_bytes`` compulsory
+    memory traffic (read every input once, write every output once).
+    """
+
+    flops: float
+    traffic_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.traffic_bytes < 0:
+            raise ValueError("work estimates must be non-negative")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of compulsory traffic (0.0 for zero traffic)."""
+        if self.traffic_bytes <= 0:
+            return 0.0
+        return self.flops / self.traffic_bytes
+
+    def __add__(self, other: "WorkEstimate") -> "WorkEstimate":
+        return WorkEstimate(self.flops + other.flops,
+                            self.traffic_bytes + other.traffic_bytes)
+
+
+@dataclass
+class KernelWork:
+    """Accumulated work of one kernel across the calls of a run.
+
+    ``seconds`` is wall time measured around the dispatched calls (the
+    dispatcher's own clock, not the profiler's), so the achieved-rate
+    properties are internally consistent with the recorded work.
+    """
+
+    kernel: str
+    calls: int = 0
+    flops: float = 0.0
+    traffic_bytes: float = 0.0
+    seconds: float = 0.0
+
+    def add(self, estimate: WorkEstimate, seconds: float) -> None:
+        self.calls += 1
+        self.flops += estimate.flops
+        self.traffic_bytes += estimate.traffic_bytes
+        self.seconds += seconds
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        if self.traffic_bytes <= 0:
+            return 0.0
+        return self.flops / self.traffic_bytes
+
+    @property
+    def gflops_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def gbytes_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.traffic_bytes / self.seconds / 1e9
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "calls": self.calls,
+            "flops": self.flops,
+            "bytes": self.traffic_bytes,
+            "seconds": self.seconds,
+            "gflops_per_s": self.gflops_per_second,
+            "gbytes_per_s": self.gbytes_per_second,
+            "arithmetic_intensity": self.arithmetic_intensity,
+        }
+
+    @classmethod
+    def from_dict(cls, kernel: str,
+                  payload: Mapping[str, object]) -> "KernelWork":
+        return cls(
+            kernel=kernel,
+            calls=int(payload.get("calls", 0)),  # type: ignore[arg-type]
+            flops=float(payload.get("flops", 0.0)),  # type: ignore[arg-type]
+            traffic_bytes=float(payload.get("bytes", 0.0)),  # type: ignore[arg-type]
+            seconds=float(payload.get("seconds", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+class MetricsRegistry:
+    """In-process sink for counters, gauges, histograms and kernel work.
+
+    Deliberately minimal: plain dictionaries, no locking (one registry
+    per measurement cell, like the profiler), no export dependencies.
+    Histograms retain their samples; :meth:`to_dict` summarizes them as
+    count/sum/min/max/mean so exports stay bounded.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+        self._work: Dict[str, KernelWork] = {}
+
+    # ------------------------------------------------------------------
+    # Primitive instruments
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one sample to histogram ``name``."""
+        self._histograms.setdefault(name, []).append(float(value))
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    def histogram(self, name: str) -> List[float]:
+        """The raw samples of one histogram ([] when never observed)."""
+        return list(self._histograms.get(name, []))
+
+    # ------------------------------------------------------------------
+    # Kernel work accounting (fed by the backend dispatcher)
+
+    def record_work(self, kernel: str, estimate: WorkEstimate,
+                    seconds: float) -> None:
+        """Accumulate one dispatched kernel call's work and wall time."""
+        entry = self._work.get(kernel)
+        if entry is None:
+            entry = self._work[kernel] = KernelWork(kernel=kernel)
+        entry.add(estimate, seconds)
+
+    @property
+    def kernel_work(self) -> Dict[str, KernelWork]:
+        return dict(self._work)
+
+    # ------------------------------------------------------------------
+    # Serialization (the export layer's ``metrics`` block)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot: counters, gauges, histogram summaries,
+        per-kernel work with derived rates."""
+        histograms: Dict[str, object] = {}
+        for name, samples in sorted(self._histograms.items()):
+            histograms[name] = {
+                "count": len(samples),
+                "sum": sum(samples),
+                "min": min(samples),
+                "max": max(samples),
+                "mean": sum(samples) / len(samples),
+            }
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": histograms,
+            "kernels": {
+                name: self._work[name].to_dict()
+                for name in sorted(self._work)
+            },
+        }
+
+
+def kernel_work_from_dict(
+    payload: Mapping[str, object]) -> Dict[str, KernelWork]:
+    """Rebuild the per-kernel work table from a ``metrics`` export block."""
+    kernels: Mapping[str, Mapping[str, object]] = payload.get("kernels", {})  # type: ignore[assignment]
+    return {
+        name: KernelWork.from_dict(name, entry)
+        for name, entry in kernels.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Active registry (scoped, per process — mirrors backend selection)
+
+_active_registry: Optional[MetricsRegistry] = None
+_active_annotator: Optional[object] = None
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    """The registry dispatched kernel calls currently record into."""
+    return _active_registry
+
+
+def active_annotator() -> Optional[object]:
+    """The span annotator (a TraceRecorder) for the active scope."""
+    return _active_annotator
+
+
+@contextmanager
+def use_metrics(registry: Optional[MetricsRegistry],
+                annotator: Optional[object] = None
+                ) -> Iterator[Optional[MetricsRegistry]]:
+    """Scoped selection of the active registry (and span annotator).
+
+    ``annotator`` is any object with an ``annotate_current(**attrs)``
+    method — in practice a :class:`~repro.core.tracing.TraceRecorder` —
+    that receives per-call flop/byte attributions for the innermost open
+    span.  ``None`` for both is a no-op scope.  The previous selection
+    is restored on exit, so scopes nest.
+    """
+    global _active_registry, _active_annotator
+    previous = (_active_registry, _active_annotator)
+    _active_registry = registry
+    _active_annotator = annotator
+    try:
+        yield registry
+    finally:
+        _active_registry, _active_annotator = previous
+
+
+# ----------------------------------------------------------------------
+# Analytic evaluation without execution
+
+
+def analytic_work(spec: "object", size: "object",
+                  variant: int = 0) -> Optional[WorkEstimate]:
+    """Evaluate one kernel's work model on its equivalence-case inputs.
+
+    Builds the kernel's first deterministic equivalence case at
+    ``size``/``variant`` (:mod:`repro.core.equivalence`) and applies the
+    registered work model to those arguments — no kernel execution, just
+    shape arithmetic.  Returns ``None`` for kernels without a work model.
+    """
+    from .equivalence import cases_for
+
+    work = getattr(spec, "work", None)
+    if work is None:
+        return None
+    cases = cases_for(spec, size, variant)  # type: ignore[arg-type]
+    if not cases:
+        return None
+    _, args = cases[0]
+    return work(*args)
+
+
+def work_model_table(size: "object") -> List[Tuple[str, WorkEstimate]]:
+    """(kernel name, analytic work at ``size``) for every modeled kernel."""
+    from .backend import registered_kernels
+
+    rows: List[Tuple[str, WorkEstimate]] = []
+    for spec in registered_kernels():
+        estimate = analytic_work(spec, size)
+        if estimate is not None:
+            rows.append((spec.name, estimate))
+    return rows

@@ -16,6 +16,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional
 
+from .metrics import MetricsRegistry
 from .tracing import CATEGORY_APP, CATEGORY_KERNEL, TraceRecorder
 from .types import KernelSample
 
@@ -30,11 +31,14 @@ class KernelProfiler:
     With a :class:`~repro.core.tracing.TraceRecorder` attached, every
     kernel call additionally emits one span (and ``start``/``stop`` emit a
     whole-application span) into the recorder.  Without one, the hot path
-    pays a single ``is None`` check and allocates nothing extra.
+    pays a single ``is None`` check and allocates nothing extra.  A
+    :class:`~repro.core.metrics.MetricsRegistry` can likewise be attached
+    to feed per-kernel call counters and self-time histograms.
     """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
-                 recorder: Optional[TraceRecorder] = None) -> None:
+                 recorder: Optional[TraceRecorder] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._clock: Callable[[], float] = clock or time.perf_counter
         self._samples: Dict[str, KernelSample] = {}
         # Stack of [kernel name, accumulated child time] for the active
@@ -43,12 +47,18 @@ class KernelProfiler:
         self._total_start: Optional[float] = None
         self._total_seconds: float = 0.0
         self._recorder: Optional[TraceRecorder] = recorder
+        self._metrics: Optional[MetricsRegistry] = metrics
         self._app_seq: Optional[int] = None
 
     @property
     def recorder(self) -> Optional[TraceRecorder]:
         """The attached trace recorder, if any."""
         return self._recorder
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The attached metrics registry, if any."""
+        return self._metrics
 
     # ------------------------------------------------------------------
     # Whole-application timing
@@ -69,12 +79,16 @@ class KernelProfiler:
         if self._total_start is None:
             raise RuntimeError("profiler not started")
         end = self._clock()
-        self._total_seconds += end - self._total_start
+        elapsed = end - self._total_start
+        self._total_seconds += elapsed
         self._total_start = None
         recorder = self._recorder
         if recorder is not None and self._app_seq is not None:
             recorder.span_close(self._app_seq, end)
             self._app_seq = None
+        if self._metrics is not None:
+            self._metrics.inc("app/runs")
+            self._metrics.observe("app/seconds", elapsed)
         return self._total_seconds
 
     @contextmanager
@@ -119,6 +133,10 @@ class KernelProfiler:
                 parent[1] = float(parent[1]) + elapsed
             if recorder is not None:
                 recorder.span_close(seq, end, self_duration=exclusive)
+            if self._metrics is not None:
+                self._metrics.inc(f"kernel/{name}/calls")
+                self._metrics.observe(f"kernel/{name}/self_seconds",
+                                      exclusive)
 
     # ------------------------------------------------------------------
     # Results

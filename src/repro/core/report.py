@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from .metrics import work_model_table
 from .registry import Benchmark, all_benchmarks, table4_benchmarks
 from .runner import ALL_SIZES, scaling_series
 from .sysinfo import system_configuration
@@ -167,6 +168,8 @@ def render_table4(
 
     ``estimates`` maps benchmark slug -> rows; when omitted, models are
     evaluated fresh at ``size`` (the paper uses the smallest input size).
+    The ``Work (ops)`` column is the critical-path model's total
+    operation count — the numerator of ``parallelism = work / span``.
     """
     if estimates is None:
         estimates = {
@@ -181,15 +184,41 @@ def render_table4(
                 (
                     slug,
                     est.kernel,
+                    _format_count(est.work),
                     _format_parallelism(est.parallelism),
                     str(est.parallelism_class),
                 )
             )
     return format_table(
-        ("Benchmark", "Kernel", "Parallelism", "Type"),
+        ("Benchmark", "Kernel", "Work (ops)", "Parallelism", "Type"),
         rows,
         title="Table IV. Parallelism across benchmarks and kernels "
         "(critical-path analysis, smallest input size)",
+    )
+
+
+def render_work_models(size: InputSize = InputSize.SQCIF) -> str:
+    """Analytic work accounting for every registered kernel at ``size``.
+
+    Rows come from the kernel registry's work models evaluated on the
+    deterministic equivalence cases — flop count, compulsory memory
+    traffic, and their ratio (arithmetic intensity), the roofline-model
+    x-axis.  Kernels without a work model are omitted.
+    """
+    rows = []
+    for name, estimate in work_model_table(size):
+        rows.append(
+            (
+                name,
+                _format_count(estimate.flops),
+                _format_count(estimate.traffic_bytes),
+                f"{estimate.arithmetic_intensity:.3f}",
+            )
+        )
+    return format_table(
+        ("Kernel", "FLOPs", "Bytes", "FLOP/byte"),
+        rows,
+        title=f"Kernel work models (analytic, one call at {size.name})",
     )
 
 
@@ -199,6 +228,15 @@ def _format_parallelism(value: float) -> str:
     if value >= 10:
         return f"{value:.0f}x"
     return f"{value:.1f}x"
+
+
+def _format_count(value: float) -> str:
+    """Human-scaled operation/byte count: 24.6k, 1.2M, 3.4G."""
+    value = float(value)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.1f}{suffix}"
+    return f"{value:.0f}"
 
 
 def _span_context(span: TraceSpan) -> str:

@@ -36,6 +36,7 @@ import warnings
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .backend import use_backend
+from .metrics import MetricsRegistry, use_metrics
 from .profiler import KernelProfiler
 from .registry import Benchmark, all_benchmarks, get_benchmark
 from .tracing import TraceRecorder
@@ -59,9 +60,11 @@ def _measure_once(
     workload: object,
     clock: Optional[Clock],
     recorder: Optional[TraceRecorder] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[KernelProfiler, dict]:
     """One timed execution of ``benchmark`` on a prepared workload."""
-    profiler = KernelProfiler(clock=clock, recorder=recorder)
+    profiler = KernelProfiler(clock=clock, recorder=recorder,
+                              metrics=metrics)
     with profiler.run():
         outputs = benchmark.run(workload, profiler)
     return profiler, dict(outputs)
@@ -97,11 +100,19 @@ def run_benchmark(
     ``backend`` scopes the dual-backend kernel selection around the
     whole run (setup included, so data-dependent control flow sees
     consistent numerics); the previous selection is restored on return.
+
+    Every measured repeat additionally feeds a per-cell
+    :class:`~repro.core.metrics.MetricsRegistry` (warmup runs excluded):
+    registered kernels with analytic work models record flop and byte
+    counts through the dispatch layer, and the profiler records per-kernel
+    call counters and self-time histograms.  The registry's serialized
+    payload rides on the returned record's ``metrics`` field.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
+    registry = MetricsRegistry()
     with use_backend(backend):
         workload = benchmark.setup(size, variant)
         for index in range(warmup):
@@ -120,8 +131,9 @@ def run_benchmark(
                 recorder.set_context(benchmark=benchmark.slug, size=size.name,
                                      variant=variant, repeat=index,
                                      phase="measure")
-            profiler, outputs = _measure_once(benchmark, workload, clock,
-                                              recorder)
+            with use_metrics(registry, recorder):
+                profiler, outputs = _measure_once(benchmark, workload, clock,
+                                                  recorder, metrics=registry)
             total_samples.append(profiler.total_seconds)
             seconds = profiler.kernel_seconds
             for name, value in seconds.items():
@@ -161,6 +173,7 @@ def run_benchmark(
         kernel_calls=dict(kernel_calls),
         outputs=outputs,
         stats=stats,
+        metrics=registry.to_dict(),
     )
 
 

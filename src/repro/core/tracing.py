@@ -33,6 +33,7 @@ import json
 import platform
 import time
 import tracemalloc
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -164,6 +165,15 @@ class TraceRecorder:
             tracemalloc.stop()
             self._started_tracemalloc = False
 
+    def __enter__(self) -> "TraceRecorder":
+        """Context-manager entry: returns the recorder itself."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Always release resources — tracemalloc must stop even when the
+        traced run raises mid-suite."""
+        self.finish()
+
     # ------------------------------------------------------------------
     # Emission (called by KernelProfiler)
 
@@ -232,6 +242,25 @@ class TraceRecorder:
         )
         self._spans.append(span)
         return span
+
+    def annotate_current(self, **attrs: float) -> None:
+        """Accumulate numeric attributes onto the innermost open span.
+
+        Used by the kernel dispatch layer to attach work counts (flops,
+        traffic bytes) to whatever profiler span is currently running.
+        Values add onto any existing numeric value under the same key, so
+        several kernel calls inside one span sum naturally.  A no-op when
+        no span is open.
+        """
+        if not self._stack:
+            return
+        record = self._open[self._stack[-1]]
+        for key, value in attrs.items():
+            previous = record.attrs.get(key, 0.0)
+            if isinstance(previous, (int, float)):
+                record.attrs[key] = float(previous) + float(value)
+            else:
+                record.attrs[key] = float(value)
 
     def abandon_open(self, timestamp: float) -> None:
         """Close any still-open spans at ``timestamp``, innermost first.
@@ -321,6 +350,9 @@ class NullRecorder(TraceRecorder):
                    self_duration: Optional[float] = None) -> TraceSpan:  # noqa: D102
         return TraceSpan(seq=-1, name="", category="", start=0.0,
                          duration=0.0, self_duration=0.0, depth=0)
+
+    def annotate_current(self, **attrs: float) -> None:  # noqa: D102
+        pass
 
     def absorb(self, serialized: Sequence[Dict[str, object]],
                track: Optional[int] = None) -> None:  # noqa: D102
@@ -436,22 +468,43 @@ def events_to_jsonl(spans: Iterable[TraceSpan],
     return "\n".join(lines) + "\n"
 
 
-def events_from_jsonl(text: str
+def events_from_jsonl(text: str, strict: bool = False
                       ) -> Tuple[Optional[Dict[str, object]], List[TraceSpan]]:
-    """Parse an :func:`events_to_jsonl` log back into (manifest, spans)."""
+    """Parse an :func:`events_to_jsonl` log back into (manifest, spans).
+
+    Event logs are append-streamed, so a crashed or still-writing run
+    leaves a truncated final line; by default malformed lines (bad JSON,
+    unknown type, missing span fields) are skipped with a single
+    :class:`RuntimeWarning` reporting how many were dropped.  Pass
+    ``strict=True`` to raise on the first bad line instead.
+    """
     manifest: Optional[Dict[str, object]] = None
     spans: List[TraceSpan] = []
-    for line in text.splitlines():
+    skipped = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
-        payload = json.loads(line)
-        kind = payload.get("type")
-        if kind == "manifest":
-            manifest = payload.get("manifest")
-        elif kind == "span":
-            spans.append(TraceSpan.from_dict(payload))
-        else:
-            raise ValueError(f"unknown event type {kind!r}")
+        try:
+            payload = json.loads(line)
+            kind = payload.get("type")
+            if kind == "manifest":
+                manifest = payload.get("manifest")
+            elif kind == "span":
+                spans.append(TraceSpan.from_dict(payload))
+            else:
+                raise ValueError(f"unknown event type {kind!r}")
+        except (ValueError, KeyError, TypeError) as exc:
+            if strict:
+                raise ValueError(
+                    f"malformed event log line {lineno}: {exc}"
+                ) from exc
+            skipped += 1
+    if skipped:
+        warnings.warn(
+            f"skipped {skipped} malformed event log line(s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     spans.sort(key=lambda s: s.seq)
     return manifest, spans

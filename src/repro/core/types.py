@@ -249,6 +249,12 @@ class BenchmarkRun:
     #: Full repeat statistics when the run was measured with ``repeats>1``;
     #: ``total_seconds``/``kernel_seconds`` are then the per-cell medians.
     stats: Optional[AggregatedRun] = None
+    #: Work-accounting metrics collected during the measured repeats (the
+    #: :meth:`~repro.core.metrics.MetricsRegistry.to_dict` payload):
+    #: counters, gauges, histogram summaries and per-kernel flop/byte
+    #: totals with achieved GFLOP/s / GB/s.  ``None`` for runs measured
+    #: before schema v4 or restored from older exports.
+    metrics: Optional[Dict[str, object]] = None
 
     def occupancy(self) -> Dict[str, float]:
         """Percentage of total runtime per kernel, plus non-kernel work.
@@ -347,16 +353,27 @@ class SuiteResult:
         """Measurement noise for one benchmark/size cell.
 
         Combines the recorded per-run repeat stddevs (root-sum-square of
-        the per-variant values, scaled to one variant); runs without
-        repeat statistics contribute zero.
+        the per-variant values, scaled to one variant).  Returns ``None``
+        when *no* run in the cell carries repeat statistics with at least
+        two samples — single-shot runs and pre-v3 exports have no noise
+        estimate, and reporting 0.0 for them would make every comparison
+        look infinitely significant.  Runs lacking stats alongside
+        repeated ones contribute zero (the repeated runs bound the noise).
         """
-        stds = [
-            run.stats.total.stddev if run.stats is not None else 0.0
+        cell = [
+            run
             for run in self.runs
             if run.benchmark == benchmark and run.size == size
         ]
-        if not stds:
+        if not cell:
             return None
+        if not any(run.stats is not None and run.stats.total.count >= 2
+                   for run in cell):
+            return None
+        stds = [
+            run.stats.total.stddev if run.stats is not None else 0.0
+            for run in cell
+        ]
         return math.sqrt(sum(s * s for s in stds) / len(stds))
 
     def mean_occupancy(self, benchmark: str, size: InputSize) -> Dict[str, float]:

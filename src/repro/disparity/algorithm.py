@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
 from ..core.profiler import KernelProfiler, ensure_profiler
 from ..imgproc.convolution import convolve_separable
 from ..imgproc.integral import integral_image
@@ -60,6 +61,17 @@ def shift_right(image: np.ndarray, d: int) -> np.ndarray:
     return out
 
 
+def _work_ssd_map(left: np.ndarray, right: np.ndarray,
+                  d: int) -> WorkEstimate:
+    """One subtract and one multiply per pixel; read both views, write
+    the squared-difference map."""
+    pixels = int(np.prod(np.shape(left)))
+    return WorkEstimate(
+        flops=2.0 * pixels,
+        traffic_bytes=FLOAT_BYTES * 3.0 * pixels,
+    )
+
+
 def _ssd_map_ref(left: np.ndarray, right: np.ndarray, d: int) -> np.ndarray:
     """Loop-faithful SSD: one scalar subtract/square per (pixel, shift).
 
@@ -84,6 +96,7 @@ def _ssd_map_ref(left: np.ndarray, right: np.ndarray, d: int) -> np.ndarray:
     paper_kernel="SSD",
     apps=("disparity",),
     ref=_ssd_map_ref,
+    work=_work_ssd_map,
 )
 def ssd_map(left: np.ndarray, right: np.ndarray, d: int) -> np.ndarray:
     """Per-pixel squared difference for candidate disparity ``d``."""

@@ -22,7 +22,23 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
 from .pad import pad
+
+
+def _work_convolve(image: np.ndarray, kernel: np.ndarray,
+                      mode: str = "replicate") -> WorkEstimate:
+    """Correlation work model: 2 flops per (pixel, tap), streaming I/O.
+
+    Shared by the 1-D passes and the full 2-D kernel — ``taps`` is the
+    total tap count either way.
+    """
+    pixels = int(np.prod(np.shape(image)))
+    taps = int(np.prod(np.shape(kernel)))
+    return WorkEstimate(
+        flops=2.0 * taps * pixels,
+        traffic_bytes=FLOAT_BYTES * (2.0 * pixels + taps),
+    )
 
 
 def _check_kernel_1d(kernel: np.ndarray) -> np.ndarray:
@@ -57,6 +73,7 @@ def _convolve_rows_ref(image: np.ndarray, kernel: np.ndarray,
     paper_kernel="Filter (1-D row pass)",
     apps=("disparity", "tracking", "sift", "stitch", "texture"),
     ref=_convolve_rows_ref,
+    work=_work_convolve,
 )
 def convolve_rows(image: np.ndarray, kernel: np.ndarray,
                   mode: str = "replicate") -> np.ndarray:
@@ -94,6 +111,7 @@ def _convolve_cols_ref(image: np.ndarray, kernel: np.ndarray,
     paper_kernel="Filter (1-D column pass)",
     apps=("disparity", "tracking", "sift", "stitch", "texture"),
     ref=_convolve_cols_ref,
+    work=_work_convolve,
 )
 def convolve_cols(image: np.ndarray, kernel: np.ndarray,
                   mode: str = "replicate") -> np.ndarray:
@@ -158,6 +176,7 @@ def _convolve2d_ref(image: np.ndarray, kernel: np.ndarray,
     paper_kernel="Convolution",
     apps=("stitch", "texture"),
     ref=_convolve2d_ref,
+    work=_work_convolve,
 )
 def convolve2d(image: np.ndarray, kernel: np.ndarray,
                mode: str = "replicate") -> np.ndarray:

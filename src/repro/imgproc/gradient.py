@@ -11,7 +11,19 @@ from typing import Tuple
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
 from .convolution import convolve_rows, convolve_cols, convolve_separable
+
+
+def _work_gradient(image: np.ndarray,
+                   mode: str = "replicate") -> WorkEstimate:
+    """Central differences: 3 flops per pixel per direction; read the
+    image once, write two gradient fields."""
+    pixels = int(np.prod(np.shape(image)))
+    return WorkEstimate(
+        flops=6.0 * pixels,
+        traffic_bytes=FLOAT_BYTES * 3.0 * pixels,
+    )
 
 #: Central-difference derivative taps (f(x+1) - f(x-1)) / 2.
 CENTRAL_DIFF = np.array([-0.5, 0.0, 0.5])
@@ -59,6 +71,7 @@ def _gradient_ref(image: np.ndarray,
     paper_kernel="Gradient",
     apps=("tracking", "sift", "stitch"),
     ref=_gradient_ref,
+    work=_work_gradient,
 )
 def gradient(image: np.ndarray,
              mode: str = "replicate") -> Tuple[np.ndarray, np.ndarray]:

@@ -16,6 +16,20 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
+
+
+def _work_integral_image(image: np.ndarray) -> WorkEstimate:
+    """Two prefix-sum scans: 2 adds per pixel; the output table carries
+    one extra zero row and column."""
+    shape = np.shape(image)
+    pixels = int(np.prod(shape))
+    out_elements = float((shape[0] + 1) * (shape[1] + 1)) if len(shape) == 2 \
+        else float(pixels)
+    return WorkEstimate(
+        flops=2.0 * pixels,
+        traffic_bytes=FLOAT_BYTES * (pixels + out_elements),
+    )
 
 
 def _integral_image_ref(image: np.ndarray) -> np.ndarray:
@@ -51,6 +65,7 @@ def _integral_image_ref(image: np.ndarray) -> np.ndarray:
     ref=_integral_image_ref,
     rtol=1e-9,
     atol=1e-9,
+    work=_work_integral_image,
 )
 def integral_image(image: np.ndarray) -> np.ndarray:
     """Summed-area table with a leading zero row/column.

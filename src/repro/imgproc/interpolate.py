@@ -11,6 +11,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
+
+
+def _work_bilinear(image: np.ndarray, rows: np.ndarray,
+                   cols: np.ndarray) -> WorkEstimate:
+    """Per query: clamp/floor/fraction setup plus the 9-op 4-tap blend
+    (~16 flops); traffic is 4 taps + 2 coordinates in, 1 sample out."""
+    queries = int(np.prod(np.broadcast_shapes(np.shape(rows),
+                                              np.shape(cols)))) or 1
+    return WorkEstimate(
+        flops=16.0 * queries,
+        traffic_bytes=FLOAT_BYTES * 7.0 * queries,
+    )
 
 
 def _bilinear_ref(image: np.ndarray, rows: np.ndarray,
@@ -50,6 +63,7 @@ def _bilinear_ref(image: np.ndarray, rows: np.ndarray,
     paper_kernel="Interpolation",
     apps=("sift", "tracking", "stitch"),
     ref=_bilinear_ref,
+    work=_work_bilinear,
 )
 def bilinear(image: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
     """Sample ``image`` at fractional ``(rows, cols)`` positions.

@@ -13,7 +13,26 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
 from .interpolate import bilinear
+
+
+def _work_warp_affine(
+    image: np.ndarray,
+    matrix: np.ndarray,
+    translation: np.ndarray,
+    out_shape: Optional[Tuple[int, int]] = None,
+    fill: float = 0.0,
+) -> WorkEstimate:
+    """Per output pixel: 8-op affine transform, inside test, 16-op
+    bilinear blend (~25 flops); traffic is 4 taps + 2 coordinates in,
+    1 pixel out."""
+    shape = tuple(out_shape) if out_shape is not None else np.shape(image)
+    pixels = int(np.prod(shape))
+    return WorkEstimate(
+        flops=25.0 * pixels,
+        traffic_bytes=FLOAT_BYTES * 7.0 * pixels,
+    )
 
 
 def _warp_affine_ref(
@@ -63,6 +82,7 @@ def _warp_affine_ref(
     paper_kernel="Transform (affine warp)",
     apps=("stitch", "tracking"),
     ref=_warp_affine_ref,
+    work=_work_warp_affine,
 )
 def warp_affine(
     image: np.ndarray,

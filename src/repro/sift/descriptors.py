@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
 from ..core.profiler import KernelProfiler, ensure_profiler
 from ..imgproc.gradient import gradient
 from .keypoints import Keypoint
@@ -27,6 +28,26 @@ N_ORIENTATION_BINS = 36
 DESCRIPTOR_GRID = 4
 DESCRIPTOR_BINS = 8
 DESCRIPTOR_CLIP = 0.2
+
+
+def _work_descriptor_at(
+    magnitude: np.ndarray,
+    angle: np.ndarray,
+    row: float,
+    col: float,
+    orientation: float,
+    scale: float = 1.0,
+) -> WorkEstimate:
+    """Fixed-size window: ~20 flops per 16x16 sample (rotate, Gaussian
+    weight, binning) plus the normalize/clip/renormalize tail over the
+    128 histogram bins; traffic is two field reads per sample plus the
+    histogram passes."""
+    samples = float((4 * DESCRIPTOR_GRID) ** 2)  # 16x16 window
+    bins = float(DESCRIPTOR_GRID * DESCRIPTOR_GRID * DESCRIPTOR_BINS)
+    return WorkEstimate(
+        flops=20.0 * samples + 6.0 * bins,
+        traffic_bytes=FLOAT_BYTES * (3.0 * samples + 3.0 * bins),
+    )
 
 
 @dataclass(frozen=True)
@@ -148,6 +169,7 @@ def _descriptor_at_ref(
     ref=_descriptor_at_ref,
     rtol=1e-9,
     atol=1e-9,
+    work=_work_descriptor_at,
 )
 def descriptor_at(
     magnitude: np.ndarray,

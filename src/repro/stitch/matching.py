@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
 from ..core.profiler import KernelProfiler, ensure_profiler
 from ..imgproc.filters import gaussian_blur
 from ..imgproc.interpolate import bilinear
@@ -59,6 +60,18 @@ def describe_corners(
     return described
 
 
+def _work_match_distances(a: np.ndarray, b: np.ndarray) -> WorkEstimate:
+    """All-pairs squared distances: ~2 flops per (pair, dimension);
+    read both descriptor sets, write the n x m distance matrix."""
+    n, dim = np.shape(a)
+    m = np.shape(b)[0]
+    return WorkEstimate(
+        flops=float(n) * float(m) * (2.0 * dim + 3.0),
+        traffic_bytes=FLOAT_BYTES * (float(n) * dim + float(m) * dim
+                                     + float(n) * float(m)),
+    )
+
+
 def _match_distances_ref(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Loop-faithful descriptor correlation: one scalar accumulation of
     ``sum((a_i - b_j)^2)`` per candidate pair (the C suite's match loop).
@@ -85,6 +98,7 @@ def _match_distances_ref(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     ref=_match_distances_ref,
     rtol=1e-8,
     atol=1e-9,
+    work=_work_match_distances,
 )
 def match_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """All-pairs squared Euclidean distances between descriptor rows.

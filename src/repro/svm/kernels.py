@@ -12,8 +12,21 @@ from typing import Callable
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
 
 KernelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _work_gram_matrix(kernel: KernelFn, points: np.ndarray) -> WorkEstimate:
+    """Gram construction: 2 flops per (pair, dimension) inner product
+    plus the symmetrization pass; read the points, write the n x n
+    matrix twice (construction + symmetrize)."""
+    n, dim = np.shape(points)
+    pairs = float(n) * float(n)
+    return WorkEstimate(
+        flops=2.0 * pairs * dim + 2.0 * pairs,
+        traffic_bytes=FLOAT_BYTES * (float(n) * dim + 2.0 * pairs),
+    )
 
 
 def linear_kernel() -> KernelFn:
@@ -82,6 +95,7 @@ def _gram_matrix_ref(kernel: KernelFn, points: np.ndarray) -> np.ndarray:
     ref=_gram_matrix_ref,
     rtol=1e-8,
     atol=1e-10,
+    work=_work_gram_matrix,
 )
 def gram_matrix(kernel: KernelFn, points: np.ndarray) -> np.ndarray:
     """Symmetric Gram matrix K[i, j] = k(x_i, x_j).

@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.backend import register_kernel
+from ..core.metrics import FLOAT_BYTES, WorkEstimate
 from ..core.profiler import KernelProfiler, ensure_profiler
 from ..imgproc.filters import binomial_blur
 from ..imgproc.gradient import gradient
@@ -72,6 +73,17 @@ def structure_tensor_fields(
     return sums[0], sums[1], sums[2]
 
 
+def _work_min_eigenvalue_map(sxx: np.ndarray, sxy: np.ndarray,
+                             syy: np.ndarray) -> WorkEstimate:
+    """Closed-form 2x2 eigensolve: 9 flops per pixel (sqrt counted as
+    one); read three tensor fields, write the eigenvalue map."""
+    pixels = int(np.prod(np.shape(sxx)))
+    return WorkEstimate(
+        flops=9.0 * pixels,
+        traffic_bytes=FLOAT_BYTES * 4.0 * pixels,
+    )
+
+
 def _min_eigenvalue_map_ref(sxx: np.ndarray, sxy: np.ndarray,
                             syy: np.ndarray) -> np.ndarray:
     """Loop-faithful per-pixel 2x2 eigensolve (the suite's "matrix ops").
@@ -99,6 +111,7 @@ def _min_eigenvalue_map_ref(sxx: np.ndarray, sxy: np.ndarray,
     paper_kernel="Matrix Inversion (2x2 eigensolve)",
     apps=("tracking",),
     ref=_min_eigenvalue_map_ref,
+    work=_work_min_eigenvalue_map,
 )
 def min_eigenvalue_map(sxx: np.ndarray, sxy: np.ndarray,
                        syy: np.ndarray) -> np.ndarray:

@@ -34,8 +34,46 @@ class TestRoundTrip:
     def test_json_is_valid(self):
         text = result_to_json(small_result())
         payload = json.loads(text)
-        assert payload["schema"] == "sdvbs-repro/suite-result/v3"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v4"
         assert len(payload["runs"]) == 1
+
+    def test_v3_payload_still_readable(self):
+        payload = result_to_dict(small_result())
+        payload["schema"] = "sdvbs-repro/suite-result/v3"
+        for entry in payload["runs"]:
+            entry.pop("metrics", None)
+        restored = result_from_dict(payload)
+        assert restored.runs[0].total_seconds == 1.5
+        assert restored.runs[0].metrics is None
+
+    def test_metrics_roundtrip(self):
+        result = small_result()
+        result.runs[0].metrics = {
+            "counters": {"kernel/SSD/calls": 16.0},
+            "gauges": {},
+            "histograms": {},
+            "kernels": {
+                "disparity.ssd": {
+                    "calls": 16, "flops": 393216.0, "bytes": 4718592.0,
+                    "seconds": 0.004, "gflops_per_s": 0.0983,
+                    "gbytes_per_s": 1.1796, "arithmetic_intensity": 0.0833,
+                },
+            },
+        }
+        restored = result_from_json(result_to_json(result))
+        assert restored.runs[0].metrics == result.runs[0].metrics
+
+    def test_real_run_carries_metrics(self):
+        result = run_suite(["disparity"], sizes=[InputSize.SQCIF],
+                           variants=[0])
+        metrics = result.runs[0].metrics
+        assert metrics is not None
+        work = metrics["kernels"]["disparity.ssd"]
+        assert work["flops"] > 0
+        assert work["bytes"] > 0
+        assert work["arithmetic_intensity"] > 0
+        restored = result_from_json(result_to_json(result))
+        assert restored.runs[0].metrics == metrics
 
     def test_export_always_carries_manifest(self):
         payload = result_to_dict(small_result())

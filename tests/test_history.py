@@ -1,0 +1,267 @@
+"""Tests for the persistent benchmark history store."""
+
+import json
+
+import pytest
+
+from repro.core.export import result_to_json
+from repro.core.history import (
+    HISTORY_SCHEMA,
+    UNKNOWN_COMMIT,
+    HistoryEntry,
+    JsonlHistory,
+    SqliteHistory,
+    current_commit,
+    entries_from_result,
+    manifest_hash,
+    open_history,
+)
+from repro.core.types import (
+    AggregatedRun,
+    BenchmarkRun,
+    InputSize,
+    RunStats,
+    SuiteResult,
+)
+
+
+def make_result(total=1.5, samples=(1.4, 1.5, 1.6), manifest=True,
+                backend="fast"):
+    """A one-cell suite result with repeat stats and (optionally) a manifest."""
+    run = BenchmarkRun(
+        benchmark="demo",
+        size=InputSize.QCIF,
+        variant=0,
+        total_seconds=total,
+        kernel_seconds={"A": total / 2},
+        kernel_calls={"A": 4},
+    )
+    if samples is not None:
+        run.stats = AggregatedRun(
+            benchmark="demo",
+            size=InputSize.QCIF,
+            variant=0,
+            warmup=1,
+            total=RunStats.of(list(samples)),
+            kernels={"A": RunStats.of([s / 2 for s in samples])},
+            kernel_calls={"A": 4},
+        )
+    result = SuiteResult()
+    result.runs.append(run)
+    if manifest:
+        result.manifest = {
+            "schema": "sdvbs-repro/manifest/v1",
+            "created": "2026-08-06T00:00:00",
+            "measurement": {"backend": backend, "repeats": len(samples or ())},
+        }
+    return result
+
+
+class TestCurrentCommit:
+    def test_inside_repo_returns_hex(self):
+        commit = current_commit(cwd="/root/repo")
+        assert commit != UNKNOWN_COMMIT
+        assert len(commit) == 40
+        int(commit, 16)  # raises if not hex
+
+    def test_outside_repo_returns_unknown(self, tmp_path):
+        assert current_commit(cwd=str(tmp_path)) == UNKNOWN_COMMIT
+
+
+class TestManifestHash:
+    def test_stable_across_timestamps(self):
+        base = {"measurement": {"backend": "fast"}, "created": "t1"}
+        later = {"measurement": {"backend": "fast"}, "created": "t2"}
+        assert manifest_hash(base) == manifest_hash(later)
+
+    def test_differs_on_configuration(self):
+        fast = {"measurement": {"backend": "fast"}}
+        ref = {"measurement": {"backend": "ref"}}
+        assert manifest_hash(fast) != manifest_hash(ref)
+
+    def test_absent_manifest_sentinel(self):
+        assert manifest_hash(None) == manifest_hash({})
+        assert len(manifest_hash(None)) == 16
+
+
+class TestEntriesFromResult:
+    def test_one_entry_per_populated_cell(self):
+        entries = entries_from_result(make_result(), commit="abc123")
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.commit == "abc123"
+        assert entry.benchmark == "demo"
+        assert entry.size == "QCIF"
+        assert entry.backend == "fast"
+        assert entry.median_seconds == pytest.approx(1.5)
+        assert entry.stddev is not None and entry.stddev > 0
+        assert entry.repeats == 3
+        assert entry.runs == 1
+
+    def test_statless_run_has_unknown_noise(self):
+        entries = entries_from_result(make_result(samples=None),
+                                      commit="abc123")
+        assert entries[0].stddev is None
+        assert entries[0].repeats == 1
+
+    def test_backend_from_manifest(self):
+        entries = entries_from_result(make_result(backend="ref"),
+                                      commit="abc123")
+        assert entries[0].backend == "ref"
+
+    def test_no_manifest_defaults(self):
+        entries = entries_from_result(make_result(manifest=False),
+                                      commit="abc123")
+        assert entries[0].backend == "fast"
+        assert entries[0].manifest_hash == manifest_hash(None)
+
+    def test_default_commit_is_head(self):
+        entries = entries_from_result(make_result())
+        assert entries[0].commit == current_commit()
+
+    def test_entry_dict_roundtrip(self):
+        entry = entries_from_result(make_result(), commit="abc")[0]
+        assert HistoryEntry.from_dict(entry.to_dict()) == entry
+
+
+@pytest.fixture(params=["sqlite", "jsonl"])
+def store(request, tmp_path):
+    if request.param == "sqlite":
+        with SqliteHistory(str(tmp_path / "history.sqlite")) as s:
+            yield s
+    else:
+        yield JsonlHistory(str(tmp_path / "history.jsonl"))
+
+
+class TestStoreBackends:
+    def test_record_and_read_back(self, store):
+        added = store.record(make_result(), commit="c1")
+        assert len(added) == 1
+        entries = store.entries()
+        assert len(entries) == 1
+        assert entries[0] == added[0]
+
+    def test_record_is_idempotent(self, store):
+        store.record(make_result(), commit="c1")
+        again = store.record(make_result(), commit="c1")
+        assert again == []
+        assert len(store.entries()) == 1
+
+    def test_same_commit_new_manifest_gets_new_row(self, store):
+        store.record(make_result(backend="fast"), commit="c1")
+        added = store.record(make_result(backend="ref"), commit="c1")
+        assert len(added) == 1
+        assert len(store.entries()) == 2
+
+    def test_filters(self, store):
+        store.record(make_result(), commit="c1")
+        store.record(make_result(), commit="c2")
+        assert len(store.entries(commit="c1")) == 1
+        assert store.entries(benchmark="demo", size="QCIF",
+                             backend="fast")
+        assert store.entries(benchmark="missing") == []
+
+    def test_commits_in_first_recorded_order(self, store):
+        store.record(make_result(), commit="c1")
+        store.record(make_result(total=2.0, samples=(1.9, 2.0, 2.1)),
+                     commit="c2")
+        assert store.commits() == ["c1", "c2"]
+
+    def test_latest_commit_before(self, store):
+        assert store.latest_commit_before("c3") is None
+        store.record(make_result(), commit="c1")
+        store.record(make_result(total=2.0, samples=(1.9, 2.0, 2.1)),
+                     commit="c2")
+        assert store.latest_commit_before("c3") == "c2"
+        assert store.latest_commit_before("c2") == "c1"
+        assert store.latest_commit_before("c1") == "c2"
+
+
+class TestJsonlFormat:
+    def test_lines_carry_schema(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        JsonlHistory(str(path)).record(make_result(), commit="c1")
+        payload = json.loads(path.read_text().splitlines()[0])
+        assert payload["schema"] == HISTORY_SCHEMA
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = JsonlHistory(str(path))
+        store.record(make_result(), commit="c1")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write('{"schema": "x", "truncated": true}\n')
+        assert len(store.entries()) == 1
+        # and ingest still works after the corruption
+        store.record(make_result(), commit="c2")
+        assert len(store.entries()) == 2
+
+
+class TestOpenHistory:
+    def test_jsonl_suffix_selects_jsonl(self, tmp_path):
+        store = open_history(str(tmp_path / "h.jsonl"))
+        assert isinstance(store, JsonlHistory)
+
+    def test_default_is_sqlite(self, tmp_path):
+        with open_history(str(tmp_path / "h.sqlite")) as store:
+            assert isinstance(store, SqliteHistory)
+
+
+class TestCliHistory:
+    def _export(self, tmp_path, result=None):
+        path = tmp_path / "result.json"
+        path.write_text(result_to_json(result or make_result()))
+        return str(path)
+
+    def test_record_list_show_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        export = self._export(tmp_path)
+        db = str(tmp_path / "history.sqlite")
+        assert cli_main(["history", "record", export, "--db", db,
+                         "--commit", "feedc0de" * 5]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 1 new cell(s)" in out
+
+        assert cli_main(["history", "list", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "feedc0de" in out
+        assert "demo" in out
+
+        assert cli_main(["history", "show", "feedc0de", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "QCIF" in out
+
+    def test_record_twice_adds_nothing(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        export = self._export(tmp_path)
+        db = str(tmp_path / "history.sqlite")
+        cli_main(["history", "record", export, "--db", db, "--commit", "c1"])
+        capsys.readouterr()
+        assert cli_main(["history", "record", export, "--db", db,
+                         "--commit", "c1"]) == 0
+        assert "recorded 0 new cell(s)" in capsys.readouterr().out
+
+    def test_show_unknown_prefix_fails(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        export = self._export(tmp_path)
+        db = str(tmp_path / "history.sqlite")
+        cli_main(["history", "record", export, "--db", db, "--commit", "c1"])
+        capsys.readouterr()
+        assert cli_main(["history", "show", "nope", "--db", db]) == 2
+
+    def test_list_empty_store(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        db = str(tmp_path / "empty.sqlite")
+        assert cli_main(["history", "list", "--db", db]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_record_missing_file_fails(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        db = str(tmp_path / "history.sqlite")
+        missing = str(tmp_path / "nope.json")
+        assert cli_main(["history", "record", missing, "--db", db]) == 2

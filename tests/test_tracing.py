@@ -270,9 +270,31 @@ class TestSerialization:
         assert first["type"] == "manifest"
         assert first["schema"] == "sdvbs-repro/trace-events/v1"
 
-    def test_jsonl_rejects_unknown_event_type(self):
+    def test_jsonl_strict_rejects_unknown_event_type(self):
         with pytest.raises(ValueError):
-            events_from_jsonl('{"type": "mystery"}\n')
+            events_from_jsonl('{"type": "mystery"}\n', strict=True)
+
+    def test_jsonl_lenient_skips_malformed_lines_with_warning(self):
+        spans = self.sample_spans()
+        good = events_to_jsonl(spans)
+        # Simulate a crashed writer: unknown type, bad JSON, truncated tail.
+        corrupted = (
+            '{"type": "mystery"}\n'
+            + good
+            + "not json at all\n"
+            + '{"type": "span", "seq": 99'
+        )
+        with pytest.warns(RuntimeWarning, match="3 malformed"):
+            manifest, restored = events_from_jsonl(corrupted)
+        assert restored == spans
+        assert manifest is not None
+
+    def test_jsonl_strict_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            events_from_jsonl(
+                '{"type": "manifest", "manifest": {}}\nnot json\n',
+                strict=True,
+            )
 
     def test_absorb_rebases_seq_and_parent(self):
         spans = self.sample_spans()
@@ -418,5 +440,5 @@ class TestCli:
         assert spans
         assert manifest["argv"][0] == "run"
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == "sdvbs-repro/suite-result/v3"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v4"
         assert payload["manifest"]["measurement"]["repeats"] == 1
