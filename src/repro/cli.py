@@ -11,6 +11,15 @@ Subcommands::
     sdvbs table4                    # critical-path parallelism
     sdvbs trace disparity --size CIF --out trace.json
                                     # per-call spans -> chrome://tracing
+    sdvbs flame disparity --size CIF --out disparity.collapsed
+                                    # statistical flamegraph (collapsed
+                                    # stacks or speedscope JSON)
+    sdvbs xcheck disparity --size CIF   # sampled vs instrumented shares
+                                    # with a tolerance gate (exit 1 on
+                                    # divergence)
+    sdvbs report --out report.html  # self-contained HTML observability
+                                    # report (occupancy, roofline,
+                                    # agreement, trace, manifest)
     sdvbs compare base.json cand.json   # median speedups + noise verdicts
     sdvbs verify-backends           # ref-vs-fast kernel agreement table
     sdvbs history record run.json   # ingest an export into the history DB
@@ -145,6 +154,199 @@ def _run_trace(args: argparse.Namespace, cli_argv: List[str]) -> int:
     return 0
 
 
+def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
+    """Knobs shared by the sampling subcommands (flame/xcheck/report)."""
+    parser.add_argument("--interval", type=float, default=0.0002,
+                        metavar="SEC",
+                        help="target seconds between stack samples "
+                        "(default: 0.0002)")
+    parser.add_argument("--repeats", type=int, default=10, metavar="N",
+                        help="measured runs per cell — more repeats mean "
+                        "more samples (default: 10)")
+    parser.add_argument("--warmup", type=int, default=2, metavar="N",
+                        help="discarded warmup runs, not sampled "
+                        "(default: 2)")
+
+
+def _sampled_run(slug: str, size: InputSize, variant: int, warmup: int,
+                 repeats: int, interval: float,
+                 backend: Optional[str] = None, recorder=None):
+    """One serial benchmark run with a stack sampler attached.
+
+    Returns ``(run, profile, frame_map)``; raises ``KeyError`` for an
+    unknown slug (callers turn that into a CLI error).
+    """
+    from .core import run_benchmark
+    from .core.sampling import StackSampler, kernel_frame_map
+
+    benchmark = get_benchmark(slug)
+    frame_map = kernel_frame_map(slug)
+    sampler = StackSampler(interval=interval, frame_map=frame_map)
+    run = run_benchmark(benchmark, size, variant, warmup=warmup,
+                        repeats=repeats, backend=backend,
+                        recorder=recorder, sampler=sampler)
+    return run, sampler.profile, frame_map
+
+
+def _run_flame(args: argparse.Namespace) -> int:
+    """``sdvbs flame``: sample one benchmark, export a flamegraph."""
+    from .core.sampling import speedscope_json, to_collapsed
+
+    try:
+        run, profile, _ = _sampled_run(
+            args.slug, args.size, args.variant, args.warmup, args.repeats,
+            args.interval, backend=args.backend)
+    except KeyError as exc:
+        print(f"sdvbs flame: {exc.args[0]}", file=sys.stderr)
+        return 2
+    name = f"{args.slug}@{args.size.name}"
+    if args.format == "speedscope":
+        payload = speedscope_json(profile, name=name)
+    else:
+        payload = to_collapsed(profile)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    if profile.samples == 0:
+        print(f"sdvbs flame: collected 0 samples — the run is too short "
+              f"for --interval {args.interval}; raise --repeats or lower "
+              "--interval", file=sys.stderr)
+    shares = sorted(profile.shares().items(), key=lambda kv: -kv[1])
+    summary = ", ".join(f"{k} {v:.1f}%" for k, v in shares[:5])
+    print(f"{profile.samples} samples / {profile.sampled_seconds:.3f} s "
+          f"sampled over {args.repeats} runs of {name} "
+          f"({run.total_seconds * 1000:.1f} ms median)")
+    if summary:
+        print(f"sampled shares: {summary}")
+    print(f"wrote {args.format} profile to {args.out}")
+    return 0
+
+
+def _run_xcheck(args: argparse.Namespace) -> int:
+    """``sdvbs xcheck``: gate sampled vs instrumented share agreement."""
+    from .core.report import render_cross_check
+    from .core.sampling import cross_check, observable_kernels
+
+    try:
+        run, profile, frame_map = _sampled_run(
+            args.slug, args.size, args.variant, args.warmup, args.repeats,
+            args.interval, backend=args.backend)
+    except KeyError as exc:
+        print(f"sdvbs xcheck: {exc.args[0]}", file=sys.stderr)
+        return 2
+    check = cross_check(
+        run.occupancy(), profile.shares(), observable_kernels(frame_map),
+        tolerance=args.tolerance, min_share=args.min_share,
+        samples=profile.samples)
+    print(render_cross_check(check))
+    top = profile.non_kernel_top(limit=5)
+    if top:
+        print()
+        print("Top NonKernelWork functions (sampled):")
+        for label, seconds in top:
+            print(f"  {label}  {seconds * 1000:.2f} ms")
+    if profile.samples == 0:
+        print(f"sdvbs xcheck: collected 0 samples — raise --repeats or "
+              "lower --interval", file=sys.stderr)
+        return 1
+    if not check.ok:
+        names = ", ".join(
+            f"{row.kernel} ({row.delta:+.1f})" for row in check.failures())
+        print(f"sdvbs xcheck: agreement gate FAILED for {names} "
+              f"(tolerance ±{args.tolerance:g} points)", file=sys.stderr)
+        return 1
+    print()
+    print(f"agreement gate passed: every kernel with >={args.min_share:g}% "
+          f"share agrees within ±{args.tolerance:g} points")
+    return 0
+
+
+def _run_report(args: argparse.Namespace, cli_argv: List[str]) -> int:
+    """``sdvbs report``: render the self-contained HTML report."""
+    from .core.htmlreport import render_html_report
+    from .core.profiler import measure_probe_overhead
+    from .core.types import SuiteResult
+
+    spans = None
+    if getattr(args, "from_export", None):
+        result = _load_result(args.from_export, "report")
+        if result is None:
+            return 2
+    else:
+        result = SuiteResult()
+        sizes = _parse_sizes(args.sizes)
+        slugs = args.slugs or [b.slug for b in all_benchmarks()]
+        recorder = TraceRecorder()
+        try:
+            with recorder:
+                for slug in slugs:
+                    for size in sizes:
+                        run, _, _ = _sampled_run(
+                            slug, size, 0, args.warmup, args.repeats,
+                            args.interval, backend=args.backend,
+                            recorder=recorder)
+                        result.runs.append(run)
+        except KeyError as exc:
+            print(f"sdvbs report: {exc.args[0]}", file=sys.stderr)
+            return 2
+        manifest = run_manifest(
+            argv=cli_argv, warmup=args.warmup, repeats=args.repeats,
+            backend=args.backend,
+            instrumentation=measure_probe_overhead())
+        result.manifest = manifest
+        spans = recorder.spans
+        _write_events(args.events, recorder, manifest)
+        if args.json:
+            from .core.export import result_to_json
+
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(result_to_json(result))
+    document = render_html_report(result, spans=spans,
+                                  tolerance=args.tolerance,
+                                  min_share=args.min_share)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    extras = [args.out]
+    if getattr(args, "json", None) and not getattr(args, "from_export", None):
+        extras.append(args.json)
+    if getattr(args, "events", None) and spans is not None:
+        extras.append(args.events)
+    print(f"wrote self-contained HTML report covering {len(result.runs)} "
+          f"run(s) to {' and '.join(extras)}")
+    return 0
+
+
+def _warn_probe_overhead(result, instrumentation: dict,
+                         threshold_pct: float) -> None:
+    """Warn when instrumentation overhead is a visible slice of a cell.
+
+    The estimate is the calibrated per-probe cost times the cell's kernel
+    call count, compared against the cell's median wall time; a
+    ``threshold_pct`` of 0 (or below) disables the check.
+    """
+    if threshold_pct <= 0:
+        return
+    per_probe = float(instrumentation.get("seconds_per_probe", 0.0))
+    if per_probe <= 0:
+        return
+    for run in result.runs:
+        if run.total_seconds <= 0:
+            continue
+        probes = sum(run.kernel_calls.values())
+        overhead = per_probe * probes
+        pct = 100.0 * overhead / run.total_seconds
+        if pct > threshold_pct:
+            print(
+                f"sdvbs run: warning: {run.benchmark}@{run.size.name} "
+                f"variant {run.variant}: estimated instrumentation "
+                f"overhead {pct:.1f}% of the {run.total_seconds * 1000:.1f}"
+                f" ms median ({probes} probes x "
+                f"{per_probe * 1e6:.2f} us) exceeds "
+                f"{threshold_pct:g}% — prefer larger inputs or "
+                "`sdvbs flame` for fine-grained attribution",
+                file=sys.stderr,
+            )
+
+
 def _load_result(path: str, command: str):
     """Read a suite export for a subcommand, with a clean CLI error."""
     from .core.export import result_from_json
@@ -159,7 +361,7 @@ def _load_result(path: str, command: str):
 
 def _run_history(args: argparse.Namespace) -> int:
     """``sdvbs history record/list/show``: the persistent result store."""
-    from .core.history import open_history
+    from .core.history import format_created, open_history
     from .core.report import format_table
 
     with open_history(args.db) as store:
@@ -182,17 +384,26 @@ def _run_history(args: argparse.Namespace) -> int:
                 return 0
             rows = []
             for commit in commits:
-                entries = store.entries(commit=commit)
+                entries = store.entries(
+                    commit=commit,
+                    benchmark=args.benchmark,
+                    size=args.size.upper() if args.size else None,
+                    backend=args.backend)
+                if not entries:
+                    continue
                 benchmarks = sorted({e.benchmark for e in entries})
                 rows.append(
                     (
                         commit[:12],
                         str(len(entries)),
-                        entries[-1].created,
+                        format_created(entries[-1].created),
                         ", ".join(benchmarks[:4])
                         + (", ..." if len(benchmarks) > 4 else ""),
                     )
                 )
+            if not rows:
+                print(f"history {args.db}: no entries match the filters")
+                return 0
             print(format_table(
                 ("Commit", "Cells", "Last recorded", "Benchmarks"),
                 rows,
@@ -354,6 +565,91 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "(default: 10)")
     _add_backend_flag(trace_parser)
 
+    flame_parser = sub.add_parser(
+        "flame",
+        help="sample one benchmark with the statistical stack sampler "
+        "and export a flamegraph (collapsed stacks or speedscope JSON)",
+    )
+    flame_parser.add_argument("slug", help="benchmark slug (e.g. disparity)")
+    flame_parser.add_argument("--size", type=_size_arg,
+                              default=InputSize.CIF, metavar="SIZE",
+                              help="SQCIF/QCIF/CIF, case-insensitive "
+                              "(default: CIF)")
+    flame_parser.add_argument("--variant", type=int, default=0,
+                              help="input variant (0-4, default: 0)")
+    flame_parser.add_argument("--out", default="flame.collapsed",
+                              metavar="PATH",
+                              help="output path (default: flame.collapsed)")
+    flame_parser.add_argument("--format",
+                              choices=["collapsed", "speedscope"],
+                              default="collapsed",
+                              help="collapsed-stack text for flamegraph.pl/"
+                              "inferno, or speedscope sampled-profile JSON "
+                              "(default: collapsed)")
+    _add_sampling_flags(flame_parser)
+    _add_backend_flag(flame_parser)
+
+    xcheck_parser = sub.add_parser(
+        "xcheck",
+        help="cross-check sampled vs instrumented per-kernel shares and "
+        "fail (exit 1) when they diverge beyond the tolerance",
+    )
+    xcheck_parser.add_argument("slug", help="benchmark slug (e.g. disparity)")
+    xcheck_parser.add_argument("--size", type=_size_arg,
+                               default=InputSize.CIF, metavar="SIZE",
+                               help="SQCIF/QCIF/CIF, case-insensitive "
+                               "(default: CIF)")
+    xcheck_parser.add_argument("--variant", type=int, default=0,
+                               help="input variant (0-4, default: 0)")
+    xcheck_parser.add_argument("--tolerance", type=float, default=5.0,
+                               metavar="PTS",
+                               help="maximum share disagreement in "
+                               "percentage points (default: 5)")
+    xcheck_parser.add_argument("--min-share", type=float, default=10.0,
+                               metavar="PCT",
+                               help="gate only kernels holding at least "
+                               "this share on either side (default: 10)")
+    _add_sampling_flags(xcheck_parser)
+    _add_backend_flag(xcheck_parser)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render a self-contained HTML observability report "
+        "(occupancy, roofline, sampled-vs-instrumented agreement, "
+        "slowest spans, manifest) with zero external references",
+    )
+    report_parser.add_argument("slugs", nargs="*",
+                               help="benchmark slugs (default: all)")
+    report_parser.add_argument("--sizes", nargs="*", metavar="SIZE",
+                               type=_size_arg,
+                               help="SQCIF/QCIF/CIF, case-insensitive "
+                               "(default: all)")
+    report_parser.add_argument("--out", default="report.html",
+                               metavar="PATH",
+                               help="HTML output path "
+                               "(default: report.html)")
+    report_parser.add_argument("--from", dest="from_export", default=None,
+                               metavar="PATH",
+                               help="render from an existing suite export "
+                               "JSON instead of measuring live (no trace "
+                               "section)")
+    report_parser.add_argument("--json", default=None, metavar="PATH",
+                               help="also write the measured suite export "
+                               "JSON to PATH (live mode only)")
+    report_parser.add_argument("--events", metavar="PATH", default=None,
+                               help="also write the JSONL event log to "
+                               "PATH (live mode only)")
+    report_parser.add_argument("--tolerance", type=float, default=5.0,
+                               metavar="PTS",
+                               help="agreement-table tolerance in points "
+                               "(default: 5)")
+    report_parser.add_argument("--min-share", type=float, default=10.0,
+                               metavar="PCT",
+                               help="agreement-table gated-share floor "
+                               "(default: 10)")
+    _add_sampling_flags(report_parser)
+    _add_backend_flag(report_parser)
+
     verify_parser = sub.add_parser(
         "verify-backends",
         help="run every dual-backend kernel under both ref and fast on "
@@ -384,6 +680,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("--json", action="store_true",
                             help="emit the raw result as JSON instead of "
                             "the text reports")
+    run_parser.add_argument("--overhead-warn", type=float, default=5.0,
+                            metavar="PCT",
+                            help="warn when the estimated instrumentation "
+                            "overhead (measured per-probe cost x kernel "
+                            "calls) exceeds this percentage of a cell's "
+                            "median wall time; 0 disables (default: 5)")
     _add_measurement_flags(run_parser)
 
     fig2_parser = sub.add_parser("figure2", help="execution-time scaling")
@@ -432,6 +734,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                              metavar="PATH",
                              help="history store path "
                              "(default: history.sqlite)")
+    list_parser.add_argument("--benchmark", default=None, metavar="SLUG",
+                             help="only count cells of this benchmark")
+    list_parser.add_argument("--size", default=None, metavar="SIZE",
+                             help="only count cells of this input size "
+                             "(SQCIF/QCIF/CIF)")
+    list_parser.add_argument("--backend", default=None,
+                             choices=["ref", "fast"],
+                             help="only count cells measured with this "
+                             "kernel backend")
     show_parser = history_sub.add_parser(
         "show", help="per-cell medians recorded for one commit")
     show_parser.add_argument("commit",
@@ -500,12 +811,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _run_trace(args, cli_argv)
+    if args.command == "flame":
+        return _run_flame(args)
+    if args.command == "xcheck":
+        return _run_xcheck(args)
+    if args.command == "report":
+        return _run_report(args, cli_argv)
     if args.command == "verify-backends":
         return _run_verify_backends(args)
     if args.command == "history":
         return _run_history(args)
     if args.command == "regress":
         return _run_regress(args)
+
+    from .core.profiler import measure_probe_overhead
 
     variants = list(range(max(1, min(5, getattr(args, "variants", 1)))))
     measurement = {
@@ -514,7 +833,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "jobs": max(1, getattr(args, "jobs", 1)),
         "backend": getattr(args, "backend", None),
     }
-    manifest = run_manifest(argv=cli_argv, **measurement)
+    instrumentation = measure_probe_overhead()
+    manifest = run_manifest(argv=cli_argv, instrumentation=instrumentation,
+                            **measurement)
     recorder = TraceRecorder() if getattr(args, "events", None) else None
     if args.command == "run":
         slugs = args.slugs or None
@@ -523,6 +844,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                            recorder=recorder, **measurement)
         result.manifest = manifest
         _write_events(args.events, recorder, manifest)
+        _warn_probe_overhead(result, instrumentation, args.overhead_warn)
         if args.json:
             from .core.export import result_to_json
 

@@ -18,12 +18,20 @@ Schema history:
   profiling host's Table III rows, Python/numpy versions, the CLI
   arguments and measurement knobs that produced the run.  v1/v2 payloads
   remain readable (their results carry no manifest).
-* ``sdvbs-repro/suite-result/v4`` (current) — per-run ``metrics`` block
+* ``sdvbs-repro/suite-result/v4`` — per-run ``metrics`` block
   (:meth:`~repro.core.metrics.MetricsRegistry.to_dict`): profiler-fed
   counters and self-time histograms plus per-kernel analytic work
   accounting — flops, traffic bytes, achieved GFLOP/s and GB/s,
   arithmetic intensity.  v1-v3 payloads remain readable (their runs
   carry no metrics).
+* ``sdvbs-repro/suite-result/v5`` (current) — per-run ``sampling``
+  block (:meth:`~repro.core.sampling.SampledProfile.to_dict`) when the
+  run was measured with a statistical stack sampler attached: folded
+  call stacks, sampled per-kernel shares, the attributable kernel set
+  and the top ``NonKernelWork`` leaf functions.  The manifest may
+  additionally carry an ``instrumentation`` block (measured per-probe
+  profiler overhead).  v1-v4 payloads remain readable (their runs carry
+  no sampling profile).
 """
 
 from __future__ import annotations
@@ -38,10 +46,11 @@ SCHEMA_V1 = "sdvbs-repro/suite-result/v1"
 SCHEMA_V2 = "sdvbs-repro/suite-result/v2"
 SCHEMA_V3 = "sdvbs-repro/suite-result/v3"
 SCHEMA_V4 = "sdvbs-repro/suite-result/v4"
+SCHEMA_V5 = "sdvbs-repro/suite-result/v5"
 #: Schema written by :func:`result_to_dict`.
-CURRENT_SCHEMA = SCHEMA_V4
+CURRENT_SCHEMA = SCHEMA_V5
 #: Schemas :func:`result_from_dict` accepts.
-READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4)
+READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_V5)
 
 
 def _stats_to_dict(stats: AggregatedRun) -> Dict[str, object]:
@@ -83,6 +92,8 @@ def run_to_dict(run: BenchmarkRun) -> Dict[str, object]:
         payload["stats"] = _stats_to_dict(run.stats)
     if run.metrics is not None:
         payload["metrics"] = dict(run.metrics)
+    if run.sampling is not None:
+        payload["sampling"] = dict(run.sampling)
     return payload
 
 
@@ -117,9 +128,9 @@ def result_to_json(result: SuiteResult, indent: int = 2,
 def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     """Rebuild a :class:`SuiteResult` from :func:`result_to_dict` output.
 
-    Accepts the current v4 schema and legacy v1-v3 payloads (v1 runs
+    Accepts the current v5 schema and legacy v1-v4 payloads (v1 runs
     carry no repeat statistics; v1/v2 results carry no manifest; v1-v3
-    runs carry no metrics).  ``outputs`` are not round-tripped (they were
+    runs carry no metrics; v1-v4 runs carry no sampling profile).  ``outputs`` are not round-tripped (they were
     stringified); everything the reports need — timings, attribution,
     measurement statistics, work-accounting metrics and the manifest —
     is restored exactly.
@@ -148,6 +159,9 @@ def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
         metrics_payload: Optional[Dict[str, object]] = entry.get("metrics")  # type: ignore[assignment]
         if metrics_payload is not None:
             run.metrics = dict(metrics_payload)
+        sampling_payload: Optional[Dict[str, object]] = entry.get("sampling")  # type: ignore[assignment]
+        if sampling_payload is not None:
+            run.sampling = dict(sampling_payload)
         result.runs.append(run)
     return result
 

@@ -63,6 +63,22 @@ def current_commit(cwd: Optional[str] = None) -> str:
     return revision if revision else UNKNOWN_COMMIT
 
 
+def format_created(created: str) -> str:
+    """Normalize a history ``created`` stamp to ISO-8601 for display.
+
+    New entries are written as ISO-8601 local time already; stores
+    written by earlier revisions may hold raw epoch floats (e.g.
+    ``"1754300000.123"``), which render as unreadable numbers in
+    ``sdvbs history list``.  Epoch-looking values are converted to local
+    ISO-8601; anything else passes through unchanged.
+    """
+    try:
+        epoch = float(created)
+    except (TypeError, ValueError):
+        return created
+    return time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(epoch))
+
+
 def manifest_hash(manifest: Optional[Dict[str, object]]) -> str:
     """Stable digest of a run manifest, ignoring its creation timestamp.
 

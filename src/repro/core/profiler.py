@@ -199,6 +199,54 @@ class NullProfiler(KernelProfiler):
         pass
 
 
+def measure_probe_overhead(
+    probes: int = 2000,
+    passes: int = 3,
+    clock: Optional[Callable[[], float]] = None,
+) -> Dict[str, float]:
+    """Calibrate the cost of one ``with profiler.kernel(...)`` probe.
+
+    Times ``probes`` empty kernel blocks against an equally long empty
+    loop and charges the difference to the probes; the best of
+    ``passes`` repetitions is kept (scheduler noise only ever inflates
+    the estimate).  The result is what the instrumented Figure-3 numbers
+    silently include per kernel call — the manifest records it
+    (``instrumentation`` block) and ``sdvbs run`` warns when the
+    per-cell total exceeds its threshold.
+
+    ``clock`` injects a deterministic time source for tests (it drives
+    both the measurement and the profiler under test).
+    """
+    if probes < 1:
+        raise ValueError(f"probes must be >= 1, got {probes}")
+    if passes < 1:
+        raise ValueError(f"passes must be >= 1, got {passes}")
+    clock = clock or time.perf_counter
+    best: Optional[float] = None
+    calibration = 0.0
+    for _ in range(passes):
+        profiler = KernelProfiler(clock=clock)
+        start = clock()
+        for _index in range(probes):
+            with profiler.kernel("calibration"):
+                pass
+        probed = clock() - start
+        start = clock()
+        for _index in range(probes):
+            pass
+        baseline = clock() - start
+        calibration += probed + baseline
+        per_probe = max(0.0, (probed - baseline) / probes)
+        if best is None or per_probe < best:
+            best = per_probe
+    return {
+        "probes": float(probes),
+        "passes": float(passes),
+        "seconds_per_probe": float(best or 0.0),
+        "calibration_seconds": calibration,
+    }
+
+
 #: The shared no-op profiler handed out by :func:`ensure_profiler`.  A
 #: single module-level instance is safe because NullProfiler holds no
 #: mutable state reachable through its public API.

@@ -42,6 +42,13 @@ class Benchmark:
     pre-trained models) *outside* the timed region — the paper times the
     vision computation on preloaded inputs; ``run`` executes it and
     attributes kernel time through the profiler.
+
+    ``sampling_frames`` optionally maps instrumented kernel names to the
+    functions whose frames the statistical sampler
+    (:mod:`repro.core.sampling`) should attribute to that kernel —
+    needed when a ``profiler.kernel(...)`` block's body is a factored
+    helper rather than a registered dual-backend kernel (the registry's
+    implementations are mapped automatically).
     """
 
     name: str
@@ -55,6 +62,7 @@ class Benchmark:
     run: RunFn
     parallelism: Optional[ParallelismFn] = None
     in_figure2: bool = False
+    sampling_frames: Optional[Mapping[str, Sequence[Callable]]] = None
 
     def kernel_names(self) -> List[str]:
         return [k.name for k in self.kernels]

@@ -15,6 +15,8 @@ Trace drilldowns (event-level observability, not in the paper):
   recorded in a trace.
 * :func:`render_kernel_drilldown` — per-kernel calls / total / mean /
   max, computed from recorded spans rather than aggregate profiles.
+* :func:`render_cross_check` — instrumented vs statistically sampled
+  per-kernel shares with the agreement gate's verdicts.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from .metrics import work_model_table
 from .registry import Benchmark, all_benchmarks, table4_benchmarks
 from .runner import ALL_SIZES, scaling_series
+from .sampling import CrossCheckResult
 from .sysinfo import system_configuration
 from .tracing import CATEGORY_KERNEL, TraceSpan
 from .types import (
@@ -326,6 +329,43 @@ def render_kernel_drilldown(spans: Iterable[TraceSpan]) -> str:
         ("Kernel", "Calls", "Total self", "Mean call", "Max call"),
         rows,
         title="Per-kernel invocation drilldown",
+    )
+
+
+def render_cross_check(result: CrossCheckResult,
+                       title: Optional[str] = None) -> str:
+    """Instrumented-vs-sampled agreement table (``sdvbs xcheck``).
+
+    One row per instrumented kernel plus the ``NonKernelWork`` residual;
+    the verdict column states whether the row passes the tolerance gate,
+    diverges, is below the gated share, or cannot be sampled at all.
+    """
+    failures = set(id(row) for row in result.failures())
+    gated = set(id(row) for row in result.gated_rows())
+    rows = []
+    for row in result.rows:
+        if row.sampled is None:
+            sampled, delta, verdict = "-", "-", "unobservable"
+        else:
+            sampled = f"{row.sampled:.1f}"
+            delta = f"{row.delta:+.1f}"
+            if id(row) in failures:
+                verdict = "DIVERGES"
+            elif id(row) in gated:
+                verdict = "agree"
+            else:
+                verdict = "minor"
+        rows.append((row.kernel, f"{row.instrumented:.1f}", sampled,
+                     delta, verdict))
+    if title is None:
+        title = (f"Instrumented vs sampled shares "
+                 f"({result.samples} samples, "
+                 f"gate ±{result.tolerance:g} points at "
+                 f">={result.min_share:g}% share)")
+    return format_table(
+        ("Kernel", "Instrumented %", "Sampled %", "Delta", "Verdict"),
+        rows,
+        title=title,
     )
 
 

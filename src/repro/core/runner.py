@@ -39,6 +39,7 @@ from .backend import use_backend
 from .metrics import MetricsRegistry, use_metrics
 from .profiler import KernelProfiler
 from .registry import Benchmark, all_benchmarks, get_benchmark
+from .sampling import StackSampler
 from .tracing import TraceRecorder
 from .types import (
     AggregatedRun,
@@ -79,6 +80,7 @@ def run_benchmark(
     clock: Optional[Clock] = None,
     recorder: Optional[TraceRecorder] = None,
     backend: Optional[str] = None,
+    sampler: Optional[StackSampler] = None,
 ) -> BenchmarkRun:
     """Run one application and return its timed record.
 
@@ -107,6 +109,14 @@ def run_benchmark(
     counts through the dispatch layer, and the profiler records per-kernel
     call counters and self-time histograms.  The registry's serialized
     payload rides on the returned record's ``metrics`` field.
+
+    ``sampler`` optionally attaches a
+    :class:`~repro.core.sampling.StackSampler`: it runs across the
+    measured repeats only (warmup excluded, matching the metrics
+    window), and its serialized profile rides on the returned record's
+    ``sampling`` field.  The sampler watches the thread that created it,
+    so it is meaningful on this serial path only — ``run_suite``'s
+    process-pool fan-out does not take one.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -126,28 +136,36 @@ def run_benchmark(
         kernel_samples: dict = {}
         kernel_calls: dict = {}
         outputs: dict = {}
-        for index in range(repeats):
-            if recorder is not None:
-                recorder.set_context(benchmark=benchmark.slug, size=size.name,
-                                     variant=variant, repeat=index,
-                                     phase="measure")
-            with use_metrics(registry, recorder):
-                profiler, outputs = _measure_once(benchmark, workload, clock,
-                                                  recorder, metrics=registry)
-            total_samples.append(profiler.total_seconds)
-            seconds = profiler.kernel_seconds
-            for name, value in seconds.items():
-                kernel_samples.setdefault(name, []).append(value)
-            if index == 0:
-                kernel_calls = profiler.kernel_calls
-            elif profiler.kernel_calls != kernel_calls:
-                warnings.warn(
-                    f"{benchmark.slug}@{size.name} variant {variant}: kernel "
-                    "call counts differ between repeats; keeping the first "
-                    "run's",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+        if sampler is not None:
+            sampler.start()
+        try:
+            for index in range(repeats):
+                if recorder is not None:
+                    recorder.set_context(benchmark=benchmark.slug,
+                                         size=size.name,
+                                         variant=variant, repeat=index,
+                                         phase="measure")
+                with use_metrics(registry, recorder):
+                    profiler, outputs = _measure_once(benchmark, workload,
+                                                      clock, recorder,
+                                                      metrics=registry)
+                total_samples.append(profiler.total_seconds)
+                seconds = profiler.kernel_seconds
+                for name, value in seconds.items():
+                    kernel_samples.setdefault(name, []).append(value)
+                if index == 0:
+                    kernel_calls = profiler.kernel_calls
+                elif profiler.kernel_calls != kernel_calls:
+                    warnings.warn(
+                        f"{benchmark.slug}@{size.name} variant {variant}: "
+                        "kernel call counts differ between repeats; keeping "
+                        "the first run's",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        finally:
+            if sampler is not None:
+                sampler.stop()
     # A kernel observed in only some repeats (data-dependent path) gets
     # zero-second samples for the runs that skipped it, so every kernel's
     # RunStats spans all repeats.
@@ -174,6 +192,8 @@ def run_benchmark(
         outputs=outputs,
         stats=stats,
         metrics=registry.to_dict(),
+        sampling=(sampler.profile.to_dict() if sampler is not None
+                  else None),
     )
 
 

@@ -373,7 +373,9 @@ def ensure_recorder(recorder: Optional[TraceRecorder]) -> TraceRecorder:
 def run_manifest(argv: Optional[Sequence[str]] = None,
                  warmup: int = 0, repeats: int = 1,
                  jobs: int = 1,
-                 backend: Optional[str] = None) -> Dict[str, object]:
+                 backend: Optional[str] = None,
+                 instrumentation: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
     """The reproducibility header attached to JSON exports and traces.
 
     Records the Table III host rows (:func:`system_configuration`), the
@@ -383,6 +385,13 @@ def run_manifest(argv: Optional[Sequence[str]] = None,
     vectorized ``fast`` — timings from the two are not comparable, so
     every export says which one it measured).  ``backend=None`` records
     the process's current selection.
+
+    ``instrumentation`` optionally attaches the measured per-probe
+    profiler overhead (the payload of
+    :func:`~repro.core.profiler.measure_probe_overhead`) so consumers of
+    the export can judge how much of each kernel's time is probe cost.
+    The key is additive — the manifest schema stays v1 and older readers
+    ignore it.
     """
     from .backend import active_backend
 
@@ -391,7 +400,7 @@ def run_manifest(argv: Optional[Sequence[str]] = None,
         numpy_version = numpy.__version__
     except ImportError:  # pragma: no cover - numpy is a hard dependency
         numpy_version = "unavailable"
-    return {
+    manifest: Dict[str, object] = {
         "schema": MANIFEST_SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "host": system_configuration(),
@@ -402,6 +411,9 @@ def run_manifest(argv: Optional[Sequence[str]] = None,
         "measurement": {"warmup": warmup, "repeats": repeats, "jobs": jobs,
                         "backend": backend or active_backend()},
     }
+    if instrumentation is not None:
+        manifest["instrumentation"] = dict(instrumentation)
+    return manifest
 
 
 # ----------------------------------------------------------------------

@@ -255,6 +255,13 @@ class BenchmarkRun:
     #: totals with achieved GFLOP/s / GB/s.  ``None`` for runs measured
     #: before schema v4 or restored from older exports.
     metrics: Optional[Dict[str, object]] = None
+    #: Statistical sampling profile collected alongside the measured
+    #: repeats (the :meth:`~repro.core.sampling.SampledProfile.to_dict`
+    #: payload): folded call stacks, per-kernel sample shares and the
+    #: top NonKernelWork leaf functions.  ``None`` unless the run was
+    #: measured with a :class:`~repro.core.sampling.StackSampler`
+    #: attached (schema v5).
+    sampling: Optional[Dict[str, object]] = None
 
     def occupancy(self) -> Dict[str, float]:
         """Percentage of total runtime per kernel, plus non-kernel work.

@@ -104,6 +104,33 @@ def ssd_map(left: np.ndarray, right: np.ndarray, d: int) -> np.ndarray:
     return diff * diff
 
 
+def window_sums(table: np.ndarray, window: int) -> np.ndarray:
+    """Windowed area sums read out of a summed-area table.
+
+    ``table`` is the ``(rows+1, cols+1)`` integral image of the source
+    map; the result has the source shape, with border bands replicating
+    the nearest full-window sum.  This is the "Correlation" kernel body
+    — a named function (rather than inline code) so stack samples land
+    on an attributable frame.
+    """
+    rows, cols = table.shape[0] - 1, table.shape[1] - 1
+    inner = (
+        table[window:, window:]
+        - table[:-window, window:]
+        - table[window:, :-window]
+        + table[:-window, :-window]
+    )
+    half = window // 2
+    out = np.empty((rows, cols), dtype=np.float64)
+    out[half : rows - half, half : cols - half] = inner
+    # Replicate the outermost full-window costs into the border bands.
+    out[:half, half : cols - half] = inner[0]
+    out[rows - half :, half : cols - half] = inner[-1]
+    out[:, :half] = out[:, half : half + 1]
+    out[:, cols - half :] = out[:, cols - half - 1 : cols - half]
+    return out
+
+
 def correlate_window(ssd: np.ndarray, window: int,
                      profiler: Optional[KernelProfiler] = None) -> np.ndarray:
     """Aggregate an SSD map over ``window x window`` neighbourhoods.
@@ -121,21 +148,25 @@ def correlate_window(ssd: np.ndarray, window: int,
     with profiler.kernel("IntegralImage"):
         table = integral_image(ssd)
     with profiler.kernel("Correlation"):
-        inner = (
-            table[window:, window:]
-            - table[:-window, window:]
-            - table[window:, :-window]
-            + table[:-window, :-window]
-        )
-        half = window // 2
-        out = np.empty_like(ssd)
-        out[half : rows - half, half : cols - half] = inner
-        # Replicate the outermost full-window costs into the border bands.
-        out[:half, half : cols - half] = inner[0]
-        out[rows - half :, half : cols - half] = inner[-1]
-        out[:, :half] = out[:, half : half + 1]
-        out[:, cols - half :] = out[:, cols - half - 1 : cols - half]
+        out = window_sums(table, window)
     return out
+
+
+def winner_update(
+    aggregated: np.ndarray,
+    d: int,
+    best_cost: np.ndarray,
+    best_disp: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Winner-take-all update for one candidate shift.
+
+    This is the "Sort" kernel body — a named function (rather than
+    inline code) so stack samples land on an attributable frame.
+    """
+    better = aggregated < best_cost
+    best_cost = np.where(better, aggregated, best_cost)
+    best_disp = np.where(better, d, best_disp)
+    return best_cost, best_disp
 
 
 def dense_disparity(
@@ -173,9 +204,8 @@ def dense_disparity(
             ssd = ssd_map(left, right, d)
         aggregated = correlate_window(ssd, window, profiler)
         with profiler.kernel("Sort"):
-            better = aggregated < best_cost
-            best_cost = np.where(better, aggregated, best_cost)
-            best_disp = np.where(better, d, best_disp)
+            best_cost, best_disp = winner_update(aggregated, d,
+                                                 best_cost, best_disp)
     return DisparityResult(
         disparity=best_disp,
         cost=best_cost,

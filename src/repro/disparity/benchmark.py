@@ -21,11 +21,27 @@ from ..core.types import (
     ParallelismClass,
     ParallelismEstimate,
 )
-from .algorithm import dense_disparity, disparity_error
+from .algorithm import (
+    dense_disparity,
+    disparity_error,
+    shift_right,
+    window_sums,
+    winner_update,
+)
 
 #: Search range and window used by the suite driver at every size.
 MAX_DISPARITY = 16
 WINDOW = 9
+
+#: Frames the statistical sampler should attribute to instrumented
+#: kernels whose bodies are factored helpers rather than registered
+#: dual-backend kernels (SSD and IntegralImage map automatically through
+#: the backend registry).
+SAMPLING_FRAMES = {
+    "Correlation": (window_sums,),
+    "Sort": (winner_update,),
+    "SSD": (shift_right,),
+}
 
 KERNELS = (
     KernelInfo("Correlation", "windowed aggregation of SSD maps",
@@ -112,4 +128,5 @@ BENCHMARK = Benchmark(
     run=run,
     parallelism=parallelism_models,
     in_figure2=True,
+    sampling_frames=SAMPLING_FRAMES,
 )
