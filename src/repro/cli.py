@@ -27,6 +27,17 @@ Subcommands::
     sdvbs history show <commit>     # per-cell medians of one commit
     sdvbs regress run.json          # noise-aware regression gate (exit 1
                                     # on confirmed >=k-sigma slowdowns)
+    sdvbs shard plan --shards 4 --out-dir plan
+                                    # split the grid into shard spec files
+    sdvbs shard run plan/shard-000.json [--resume]
+                                    # execute one shard with per-cell
+                                    # checkpoints; --resume re-runs only
+                                    # the missing cells after a kill
+    sdvbs shard merge plan/*.result.json --out merged.json
+                                    # fold shard exports into one suite
+                                    # result (idempotent history ingest
+                                    # with --db)
+    sdvbs shard status plan         # per-shard completed/missing cells
 
 ``run``/``figure2``/``figure3`` accept the robust-measurement knobs
 ``--repeats N`` (retained runs per cell, aggregated into
@@ -498,6 +509,161 @@ def _run_regress(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _run_shard_plan(args: argparse.Namespace) -> int:
+    """``sdvbs shard plan``: split the grid into shard spec files."""
+    import os
+
+    from .core.shard import plan_shards
+
+    sizes = _parse_sizes(args.sizes)
+    variants = list(range(max(1, min(5, args.variants))))
+    backends = args.backends or ["fast"]
+    try:
+        specs = plan_shards(args.shards, args.slugs or None, sizes=sizes,
+                            variants=variants, backends=backends,
+                            warmup=args.warmup, repeats=args.repeats)
+    except (KeyError, ValueError) as exc:
+        print(f"sdvbs shard plan: {exc.args[0]}", file=sys.stderr)
+        return 2
+    os.makedirs(args.out_dir, exist_ok=True)
+    paths = []
+    for spec in specs:
+        path = os.path.join(args.out_dir, f"shard-{spec.index:03d}.json")
+        spec.write(path)
+        paths.append(path)
+    cells = sum(len(spec.cells) for spec in specs)
+    print(f"plan {specs[0].plan}: {cells} cell(s) across "
+          f"{len(specs)} shard(s) in {args.out_dir}/")
+    for spec, path in zip(specs, paths):
+        print(f"  {path}  {len(spec.cells)} cell(s)")
+    return 0
+
+
+def _run_shard_run(args: argparse.Namespace, cli_argv: List[str]) -> int:
+    """``sdvbs shard run``: execute one spec with per-cell checkpoints."""
+    from .core.export import result_to_json
+    from .core.shard import ShardSpec, default_checkpoint_path, run_shard
+
+    try:
+        spec = ShardSpec.read(args.spec)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"sdvbs shard run: cannot read {args.spec}: {exc}",
+              file=sys.stderr)
+        return 2
+    checkpoint = args.checkpoint or default_checkpoint_path(args.spec)
+    out = args.out or default_checkpoint_path(args.spec).replace(
+        ".ckpt.jsonl", ".result.json")
+    try:
+        report = run_shard(spec, checkpoint, resume=args.resume)
+    except FileExistsError as exc:
+        print(f"sdvbs shard run: {exc}", file=sys.stderr)
+        return 2
+    report.result.manifest = run_manifest(
+        argv=cli_argv, warmup=spec.warmup, repeats=spec.repeats)
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(result_to_json(report.result))
+    print(f"shard {spec.index + 1}/{spec.count} (plan {spec.plan}): "
+          f"executed {len(report.executed)} cell(s), resumed past "
+          f"{len(report.skipped)} checkpointed cell(s)")
+    print(f"wrote shard export to {out} (checkpoints in {checkpoint})")
+    return 0
+
+
+def _run_shard_merge(args: argparse.Namespace) -> int:
+    """``sdvbs shard merge``: fold shard exports into one suite result."""
+    import json as json_module
+
+    from .core.export import result_to_json
+    from .core.history import open_history
+    from .core.shard import merge_shards
+
+    payloads = []
+    for path in args.exports:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payloads.append(json_module.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"sdvbs shard merge: cannot read {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = merge_shards(payloads)
+    except ValueError as exc:
+        print(f"sdvbs shard merge: {exc}", file=sys.stderr)
+        return 2
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(result_to_json(report.result))
+    print(f"merged {len(report.result.runs)} cell(s) from "
+          f"{len(report.merged_from)}/{report.expected_shards} shard(s) "
+          f"of plan {report.plan} into {args.out}")
+    if report.duplicates:
+        print(f"warning: {len(report.duplicates)} duplicate cell(s) "
+              f"ignored: {', '.join(sorted(set(report.duplicates))[:4])}",
+              file=sys.stderr)
+    if report.missing:
+        print(f"warning: {len(report.missing)} cell(s) missing from the "
+              f"merge: {', '.join(report.missing[:4])}"
+              + (", ..." if len(report.missing) > 4 else ""),
+              file=sys.stderr)
+    if args.db:
+        with open_history(args.db) as store:
+            added = store.record(report.result, commit=args.commit)
+        print(f"recorded {len(added)} new cell(s) into {args.db}")
+    return 0
+
+
+def _run_shard_status(args: argparse.Namespace) -> int:
+    """``sdvbs shard status``: per-shard completed/missing cells."""
+    import glob
+    import os
+
+    from .core.shard import ShardSpec, default_checkpoint_path, \
+        load_checkpoints
+
+    spec_paths: List[str] = []
+    for target in args.targets:
+        if os.path.isdir(target):
+            spec_paths.extend(sorted(glob.glob(
+                os.path.join(target, "shard-*.json"))))
+        else:
+            spec_paths.append(target)
+    spec_paths = [p for p in spec_paths
+                  if not p.endswith((".ckpt.jsonl", ".result.json"))]
+    if not spec_paths:
+        print("sdvbs shard status: no shard specs found", file=sys.stderr)
+        return 2
+    incomplete = 0
+    for path in spec_paths:
+        try:
+            spec = ShardSpec.read(path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"sdvbs shard status: cannot read {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        completed = load_checkpoints(default_checkpoint_path(path), spec.plan)
+        done = [c for c in spec.cell_ids() if c in completed]
+        missing = [c for c in spec.cell_ids() if c not in completed]
+        line = (f"{path}  plan {spec.plan}  "
+                f"{len(done)}/{len(spec.cells)} done")
+        if missing:
+            incomplete += 1
+            line += ("  missing: " + ", ".join(missing[:3])
+                     + (", ..." if len(missing) > 3 else ""))
+        print(line)
+    return 1 if incomplete else 0
+
+
+def _run_shard(args: argparse.Namespace, cli_argv: List[str]) -> int:
+    """Dispatch ``sdvbs shard plan/run/merge/status``."""
+    if args.shard_command == "plan":
+        return _run_shard_plan(args)
+    if args.shard_command == "run":
+        return _run_shard_run(args, cli_argv)
+    if args.shard_command == "merge":
+        return _run_shard_merge(args)
+    return _run_shard_status(args)
+
+
 def _run_verify_backends(args: argparse.Namespace) -> int:
     """``sdvbs verify-backends``: ref/fast agreement on seeded inputs."""
     from .core.backend import load_all_kernels
@@ -788,6 +954,83 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 help="also write the machine-readable "
                                 "verdict JSON to PATH")
 
+    shard_parser = sub.add_parser(
+        "shard",
+        help="sharded suite execution: split the benchmark grid into "
+        "independent spec files, run them anywhere with per-cell "
+        "checkpoints (resumable after a kill), and merge the exports "
+        "back into one suite result",
+    )
+    shard_sub = shard_parser.add_subparsers(dest="shard_command",
+                                            required=True)
+    splan_parser = shard_sub.add_parser(
+        "plan", help="deterministically split the (benchmark, size, "
+        "variant, backend) grid into N shard spec files")
+    splan_parser.add_argument("slugs", nargs="*",
+                              help="benchmark slugs (default: all nine)")
+    splan_parser.add_argument("--sizes", nargs="*", metavar="SIZE",
+                              type=_size_arg,
+                              help="SQCIF/QCIF/CIF, case-insensitive "
+                              "(default: all)")
+    splan_parser.add_argument("--variants", type=int, default=1, metavar="N",
+                              help="input variants per size, 1-5 "
+                              "(default: 1)")
+    splan_parser.add_argument("--backends", nargs="+",
+                              choices=["ref", "fast"], default=None,
+                              metavar="BACKEND",
+                              help="kernel backends to cover (ref/fast, "
+                              "default: fast)")
+    splan_parser.add_argument("--shards", type=int, default=2, metavar="N",
+                              help="number of shards to split into "
+                              "(default: 2)")
+    splan_parser.add_argument("--warmup", type=int, default=0, metavar="N",
+                              help="discarded warmup runs per cell "
+                              "(default: 0)")
+    splan_parser.add_argument("--repeats", type=int, default=1, metavar="N",
+                              help="measured runs per cell (default: 1)")
+    splan_parser.add_argument("--out-dir", default="plan", metavar="DIR",
+                              help="directory for shard-NNN.json specs "
+                              "(default: plan)")
+    srun_parser = shard_sub.add_parser(
+        "run", help="execute one shard spec, checkpointing every "
+        "completed cell; --resume skips already-checkpointed cells")
+    srun_parser.add_argument("spec", help="shard spec file (from "
+                             "`sdvbs shard plan`)")
+    srun_parser.add_argument("--resume", action="store_true",
+                             help="load existing checkpoints and execute "
+                             "only the missing cells (the crash-recovery "
+                             "path)")
+    srun_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                             help="checkpoint JSONL path (default: the "
+                             "spec path with .ckpt.jsonl)")
+    srun_parser.add_argument("--out", default=None, metavar="PATH",
+                             help="shard export JSON path (default: the "
+                             "spec path with .result.json)")
+    smerge_parser = shard_sub.add_parser(
+        "merge", help="fold shard exports into one merged suite result "
+        "(and optionally ingest it into the history store, "
+        "idempotently)")
+    smerge_parser.add_argument("exports", nargs="+",
+                               help="shard export JSONs (from `sdvbs "
+                               "shard run`)")
+    smerge_parser.add_argument("--out", default="merged.json",
+                               metavar="PATH",
+                               help="merged export path "
+                               "(default: merged.json)")
+    smerge_parser.add_argument("--db", default=None, metavar="PATH",
+                               help="also record the merged result into "
+                               "this history store (re-merging the same "
+                               "shards adds nothing)")
+    smerge_parser.add_argument("--commit", default=None, metavar="SHA",
+                               help="commit to record under (default: "
+                               "current git HEAD)")
+    sstatus_parser = shard_sub.add_parser(
+        "status", help="per-shard progress from checkpoint files "
+        "(exit 1 when any shard has missing cells)")
+    sstatus_parser.add_argument("targets", nargs="+",
+                                help="shard spec files or plan "
+                                "directories")
+
     args = parser.parse_args(argv)
     cli_argv = list(argv) if argv is not None else list(sys.argv[1:])
 
@@ -823,6 +1066,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_history(args)
     if args.command == "regress":
         return _run_regress(args)
+    if args.command == "shard":
+        return _run_shard(args, cli_argv)
 
     from .core.profiler import measure_probe_overhead
 

@@ -24,7 +24,7 @@ Schema history:
   accounting — flops, traffic bytes, achieved GFLOP/s and GB/s,
   arithmetic intensity.  v1-v3 payloads remain readable (their runs
   carry no metrics).
-* ``sdvbs-repro/suite-result/v5`` (current) — per-run ``sampling``
+* ``sdvbs-repro/suite-result/v5`` — per-run ``sampling``
   block (:meth:`~repro.core.sampling.SampledProfile.to_dict`) when the
   run was measured with a statistical stack sampler attached: folded
   call stacks, sampled per-kernel shares, the attributable kernel set
@@ -32,6 +32,12 @@ Schema history:
   additionally carry an ``instrumentation`` block (measured per-probe
   profiler overhead).  v1-v4 payloads remain readable (their runs carry
   no sampling profile).
+* ``sdvbs-repro/suite-result/v6`` (current) — optional top-level
+  ``shard`` provenance block (:mod:`repro.core.shard`): the plan hash,
+  shard index/count and per-cell identities of a sharded sweep, or the
+  ``merged_from`` record of a merged one.  Unsharded exports carry no
+  ``shard`` key and are otherwise identical to v5.  v1-v5 payloads
+  remain readable.
 """
 
 from __future__ import annotations
@@ -47,10 +53,12 @@ SCHEMA_V2 = "sdvbs-repro/suite-result/v2"
 SCHEMA_V3 = "sdvbs-repro/suite-result/v3"
 SCHEMA_V4 = "sdvbs-repro/suite-result/v4"
 SCHEMA_V5 = "sdvbs-repro/suite-result/v5"
+SCHEMA_V6 = "sdvbs-repro/suite-result/v6"
 #: Schema written by :func:`result_to_dict`.
-CURRENT_SCHEMA = SCHEMA_V5
+CURRENT_SCHEMA = SCHEMA_V6
 #: Schemas :func:`result_from_dict` accepts.
-READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_V5)
+READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_V5,
+                    SCHEMA_V6)
 
 
 def _stats_to_dict(stats: AggregatedRun) -> Dict[str, object]:
@@ -111,11 +119,14 @@ def result_to_dict(result: SuiteResult,
         manifest = result.manifest
     if manifest is None:
         manifest = run_manifest()
-    return {
+    payload: Dict[str, object] = {
         "schema": CURRENT_SCHEMA,
         "manifest": manifest,
         "runs": [run_to_dict(run) for run in result.runs],
     }
+    if result.shard is not None:
+        payload["shard"] = dict(result.shard)
+    return payload
 
 
 def result_to_json(result: SuiteResult, indent: int = 2,
@@ -125,15 +136,43 @@ def result_to_json(result: SuiteResult, indent: int = 2,
                       indent=indent, sort_keys=True)
 
 
+def run_from_dict(entry: Dict[str, object]) -> BenchmarkRun:
+    """Rebuild one :class:`BenchmarkRun` from :func:`run_to_dict` output.
+
+    Shared by whole-suite restoration and the shard checkpoint reader
+    (:mod:`repro.core.shard`), which persists individual runs.
+    """
+    run = BenchmarkRun(
+        benchmark=str(entry["benchmark"]),
+        size=InputSize[str(entry["size"])],
+        variant=int(entry["variant"]),  # type: ignore[arg-type]
+        total_seconds=float(entry["total_seconds"]),  # type: ignore[arg-type]
+        kernel_seconds=dict(entry["kernel_seconds"]),  # type: ignore[arg-type]
+        kernel_calls=dict(entry["kernel_calls"]),  # type: ignore[arg-type]
+        outputs=dict(entry.get("outputs", {})),  # type: ignore[arg-type]
+    )
+    stats_payload: Optional[Dict[str, object]] = entry.get("stats")  # type: ignore[assignment]
+    if stats_payload is not None:
+        run.stats = _stats_from_dict(run, stats_payload)
+    metrics_payload: Optional[Dict[str, object]] = entry.get("metrics")  # type: ignore[assignment]
+    if metrics_payload is not None:
+        run.metrics = dict(metrics_payload)
+    sampling_payload: Optional[Dict[str, object]] = entry.get("sampling")  # type: ignore[assignment]
+    if sampling_payload is not None:
+        run.sampling = dict(sampling_payload)
+    return run
+
+
 def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     """Rebuild a :class:`SuiteResult` from :func:`result_to_dict` output.
 
-    Accepts the current v5 schema and legacy v1-v4 payloads (v1 runs
+    Accepts the current v6 schema and legacy v1-v5 payloads (v1 runs
     carry no repeat statistics; v1/v2 results carry no manifest; v1-v3
-    runs carry no metrics; v1-v4 runs carry no sampling profile).  ``outputs`` are not round-tripped (they were
-    stringified); everything the reports need — timings, attribution,
-    measurement statistics, work-accounting metrics and the manifest —
-    is restored exactly.
+    runs carry no metrics; v1-v4 runs carry no sampling profile; v1-v5
+    results carry no shard block).  ``outputs`` are not round-tripped
+    (they were stringified); everything the reports need — timings,
+    attribution, measurement statistics, work-accounting metrics, shard
+    provenance and the manifest — is restored exactly.
     """
     schema = payload.get("schema")
     if schema not in READABLE_SCHEMAS:
@@ -142,27 +181,12 @@ def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     manifest = payload.get("manifest")
     if manifest is not None:
         result.manifest = dict(manifest)  # type: ignore[arg-type]
+    shard = payload.get("shard")
+    if shard is not None:
+        result.shard = dict(shard)  # type: ignore[arg-type]
     runs: List[Dict[str, object]] = payload["runs"]  # type: ignore[assignment]
     for entry in runs:
-        run = BenchmarkRun(
-            benchmark=str(entry["benchmark"]),
-            size=InputSize[str(entry["size"])],
-            variant=int(entry["variant"]),  # type: ignore[arg-type]
-            total_seconds=float(entry["total_seconds"]),  # type: ignore[arg-type]
-            kernel_seconds=dict(entry["kernel_seconds"]),  # type: ignore[arg-type]
-            kernel_calls=dict(entry["kernel_calls"]),  # type: ignore[arg-type]
-            outputs=dict(entry.get("outputs", {})),  # type: ignore[arg-type]
-        )
-        stats_payload: Optional[Dict[str, object]] = entry.get("stats")  # type: ignore[assignment]
-        if stats_payload is not None:
-            run.stats = _stats_from_dict(run, stats_payload)
-        metrics_payload: Optional[Dict[str, object]] = entry.get("metrics")  # type: ignore[assignment]
-        if metrics_payload is not None:
-            run.metrics = dict(metrics_payload)
-        sampling_payload: Optional[Dict[str, object]] = entry.get("sampling")  # type: ignore[assignment]
-        if sampling_payload is not None:
-            run.sampling = dict(sampling_payload)
-        result.runs.append(run)
+        result.runs.append(run_from_dict(entry))
     return result
 
 

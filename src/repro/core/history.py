@@ -34,6 +34,7 @@ import os
 import subprocess
 import time
 from dataclasses import dataclass, fields
+from datetime import datetime
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .types import InputSize, SuiteResult
@@ -70,13 +71,41 @@ def format_created(created: str) -> str:
     written by earlier revisions may hold raw epoch floats (e.g.
     ``"1754300000.123"``), which render as unreadable numbers in
     ``sdvbs history list``.  Epoch-looking values are converted to local
-    ISO-8601; anything else passes through unchanged.
+    ISO-8601 via :meth:`datetime.astimezone` — ``time.strftime`` with
+    ``%z`` renders an *empty* UTC offset on platforms whose
+    ``time.localtime`` carries no zone info, whereas an aware datetime
+    always formats one.  Anything non-numeric passes through unchanged.
     """
     try:
         epoch = float(created)
     except (TypeError, ValueError):
         return created
-    return time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(epoch))
+    return datetime.fromtimestamp(epoch).astimezone().isoformat()
+
+
+def created_sort_key(created: str) -> float:
+    """Best-effort epoch seconds for ordering ``created`` stamps.
+
+    Accepts the raw epoch floats of early stores, ISO-8601 with or
+    without a ``%z``-style offset, and falls back to ``0.0`` for
+    unparseable values (which then sort oldest, deferring to insertion
+    order as the tie-break).
+    """
+    try:
+        return float(created)
+    except (TypeError, ValueError):
+        pass
+    text = str(created)
+    try:
+        return datetime.fromisoformat(text).timestamp()
+    except ValueError:
+        pass
+    # time.strftime("%z") writes "+0000"-style offsets, which
+    # fromisoformat only accepts from Python 3.11 on.
+    try:
+        return datetime.strptime(text, "%Y-%m-%dT%H:%M:%S%z").timestamp()
+    except ValueError:
+        return 0.0
 
 
 def manifest_hash(manifest: Optional[Dict[str, object]]) -> str:
@@ -147,6 +176,12 @@ def entries_from_result(result: SuiteResult,
     ``commit=None`` stamps the current checkout's HEAD.  The backend and
     manifest hash come from the result's manifest (absent pieces degrade
     to ``"fast"`` / the no-manifest sentinel, so legacy exports record).
+
+    ``created`` is the *measurement* time — the manifest's ``created``
+    stamp when the export carries one — not the ingest time.  Recording
+    an old export late must not make its commit look like the newest
+    measurement (the regression detector picks its default baseline by
+    recency); only manifest-less legacy exports fall back to "now".
     """
     if commit is None:
         commit = current_commit()
@@ -156,7 +191,9 @@ def entries_from_result(result: SuiteResult,
     if isinstance(measurement, dict) and measurement.get("backend"):
         backend = str(measurement["backend"])
     digest = manifest_hash(result.manifest)
-    created = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    created = manifest.get("created")
+    if not isinstance(created, str) or not created:
+        created = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     entries: List[HistoryEntry] = []
     for slug in result.benchmarks():
         for size in InputSize:
@@ -192,7 +229,10 @@ class HistoryStore:
 
     Subclasses implement :meth:`_insert` (idempotent single-entry write,
     returning whether the entry was new) and :meth:`_iter_entries`
-    (insertion-ordered read of everything on disk).
+    (insertion-ordered read of everything on disk); they may override
+    :meth:`_insert_many` when the backend can amortize duplicate
+    detection over a batch (the JSONL backend must — scanning the file
+    per entry is quadratic in store size).
     """
 
     path: str
@@ -205,11 +245,17 @@ class HistoryStore:
         manifest hash) adds nothing — the store is append-only but the
         ingest is idempotent.
         """
-        added = []
-        for entry in entries_from_result(result, commit=commit):
-            if self._insert(entry):
-                added.append(entry)
-        return added
+        return self.record_entries(entries_from_result(result, commit=commit))
+
+    def record_entries(self,
+                       entries: Iterable[HistoryEntry]) -> List[HistoryEntry]:
+        """Bulk idempotent ingest; returns the entries actually added.
+
+        The shard merger's entry point: folding N shard exports lands
+        here as one batch, deduplicated in a single pass over the
+        existing store rather than once per entry.
+        """
+        return self._insert_many(list(entries))
 
     def entries(self, commit: Optional[str] = None,
                 benchmark: Optional[str] = None,
@@ -238,17 +284,26 @@ class HistoryStore:
         return seen
 
     def latest_commit_before(self, commit: str) -> Optional[str]:
-        """The most recently recorded commit other than ``commit``.
+        """The most recently *measured* commit other than ``commit``.
 
         The regression detector's default baseline: "whatever this store
-        saw last that isn't the revision under test".  ``None`` when the
-        store holds no other commit.
+        saw last that isn't the revision under test".  Candidates are
+        ordered by each commit's newest ``created`` stamp (measurement
+        time), with insertion order as the tie-break — raw insertion
+        order alone would let a stale export, re-recorded after a newer
+        commit (say, for a second backend), hijack the baseline.
+        ``None`` when the store holds no other commit.
         """
-        previous: Optional[str] = None
-        for entry in self._iter_entries():
-            if entry.commit != commit:
-                previous = entry.commit
-        return previous
+        latest: Dict[str, Tuple[float, int]] = {}
+        for index, entry in enumerate(self._iter_entries()):
+            if entry.commit == commit:
+                continue
+            key = (created_sort_key(entry.created), index)
+            if entry.commit not in latest or key > latest[entry.commit]:
+                latest[entry.commit] = key
+        if not latest:
+            return None
+        return max(latest.items(), key=lambda item: item[1])[0]
 
     def close(self) -> None:
         """Release any backend resources (no-op by default)."""
@@ -263,6 +318,16 @@ class HistoryStore:
 
     def _insert(self, entry: HistoryEntry) -> bool:
         raise NotImplementedError
+
+    def _insert_many(self, entries: List[HistoryEntry]) -> List[HistoryEntry]:
+        """Idempotent batch write; default delegates to :meth:`_insert`.
+
+        Fine for backends whose per-entry dedup is O(1) (SQLite's
+        ``INSERT OR IGNORE`` against the unique index); backends that
+        scan the store to detect duplicates must override this to scan
+        once per batch.
+        """
+        return [entry for entry in entries if self._insert(entry)]
 
     def _iter_entries(self) -> Iterable[HistoryEntry]:
         raise NotImplementedError
@@ -341,23 +406,34 @@ class JsonlHistory(HistoryStore):
     """Append-only JSONL history (the portable fallback).
 
     One JSON object per line, each stamped with the history schema.
-    Dedup happens at ingest by scanning existing keys; corrupt or
-    truncated lines (a crashed writer) are skipped on read rather than
-    poisoning the whole store.
+    Dedup happens at ingest against a key set built *once per batch* —
+    rescanning the file for every entry would make a bulk ingest of N
+    entries into a store of M lines O(N·M), which the sharded-sweep
+    fan-in would amplify badly.  Corrupt or truncated lines (a crashed
+    writer) are skipped on read rather than poisoning the whole store.
     """
 
     def __init__(self, path: str) -> None:
         self.path = path
 
     def _insert(self, entry: HistoryEntry) -> bool:
+        return bool(self._insert_many([entry]))
+
+    def _insert_many(self, entries: List[HistoryEntry]) -> List[HistoryEntry]:
         existing = {e.key for e in self._iter_entries()}
-        if entry.key in existing:
-            return False
-        line = json.dumps({"schema": HISTORY_SCHEMA, **entry.to_dict()},
-                          sort_keys=True)
+        added: List[HistoryEntry] = []
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-        return True
+            for entry in entries:
+                if entry.key in existing:
+                    continue
+                existing.add(entry.key)
+                line = json.dumps(
+                    {"schema": HISTORY_SCHEMA, **entry.to_dict()},
+                    sort_keys=True,
+                )
+                handle.write(line + "\n")
+                added.append(entry)
+        return added
 
     def _iter_entries(self) -> Iterable[HistoryEntry]:
         if not os.path.exists(self.path):

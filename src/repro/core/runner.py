@@ -197,6 +197,38 @@ def run_benchmark(
     )
 
 
+def run_cell(
+    slug: str,
+    size_name: str,
+    variant: int = 0,
+    warmup: int = 0,
+    repeats: int = 1,
+    clock: Optional[Clock] = None,
+    recorder: Optional[TraceRecorder] = None,
+    backend: Optional[str] = None,
+) -> BenchmarkRun:
+    """Cell-addressable execution: one grid cell by plain string keys.
+
+    The suite's unit of distribution — pool workers, shard executors and
+    remote drivers all address work as
+    ``(slug, size name, variant, backend)`` because those keys survive
+    pickling, JSON and command lines, unlike :class:`Benchmark` or
+    :class:`InputSize` objects.  Everything else is
+    :func:`run_benchmark` unchanged.  Raises ``KeyError`` for an unknown
+    slug or size name.
+    """
+    return run_benchmark(
+        get_benchmark(slug),
+        InputSize[size_name],
+        variant,
+        warmup=warmup,
+        repeats=repeats,
+        clock=clock,
+        recorder=recorder,
+        backend=backend,
+    )
+
+
 def _run_cell(
     slug: str,
     size_name: str,
@@ -217,9 +249,9 @@ def _run_cell(
     the worker (backend state is per-process, not inherited).
     """
     recorder = TraceRecorder(track_memory=track_memory) if trace else None
-    run = run_benchmark(
-        get_benchmark(slug),
-        InputSize[size_name],
+    run = run_cell(
+        slug,
+        size_name,
         variant,
         warmup=warmup,
         repeats=repeats,
@@ -360,6 +392,12 @@ def scaling_series(result: SuiteResult, slug: str) -> List[ScalingPoint]:
         )
     base = result.median_total(slug, base_size)
     if base is None or base <= 0:
+        warnings.warn(
+            f"{slug}: cannot normalize Figure 2 — the {base_size.name} base "
+            f"median is {base!r} (zero-duration or fake-clock run?)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return []
     points = []
     for size in present:

@@ -314,10 +314,16 @@ class SuiteResult:
     software versions, CLI args, measurement knobs) attached by the JSON
     export layer; it is ``None`` until a caller stamps one on (the CLI
     does) or the result is restored from a schema-v3 payload.
+
+    ``shard`` is the sharded-execution provenance block
+    (:mod:`repro.core.shard`, schema v6): the plan hash plus either this
+    result's shard index/cells or the ``merged_from`` record of a merged
+    sweep.  ``None`` for ordinary unsharded runs.
     """
 
     runs: List[BenchmarkRun] = field(default_factory=list)
     manifest: Optional[Dict[str, object]] = None
+    shard: Optional[Dict[str, object]] = None
 
     def for_benchmark(self, name: str) -> List[BenchmarkRun]:
         return [run for run in self.runs if run.benchmark == name]

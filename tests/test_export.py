@@ -34,7 +34,7 @@ class TestRoundTrip:
     def test_json_is_valid(self):
         text = result_to_json(small_result())
         payload = json.loads(text)
-        assert payload["schema"] == "sdvbs-repro/suite-result/v5"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v6"
         assert len(payload["runs"]) == 1
 
     def test_v3_payload_still_readable(self):
@@ -98,6 +98,21 @@ class TestRoundTrip:
         restored = result_from_dict(payload)
         assert restored.runs[0].total_seconds == 1.5
         assert restored.manifest is None
+
+    def test_v5_payload_still_readable(self):
+        payload = result_to_dict(small_result())
+        payload["schema"] = "sdvbs-repro/suite-result/v5"
+        payload.pop("shard", None)
+        restored = result_from_dict(payload)
+        assert restored.runs[0].total_seconds == 1.5
+        assert restored.shard is None
+
+    def test_shard_block_roundtrip(self):
+        result = small_result()
+        result.shard = {"plan": "abcd1234abcd1234", "shards": 2,
+                        "merged_from": [0, 1]}
+        restored = result_from_json(result_to_json(result))
+        assert restored.shard == result.shard
 
     def test_manifest_roundtrip(self):
         result = small_result()

@@ -11,8 +11,10 @@ from repro.core.history import (
     HistoryEntry,
     JsonlHistory,
     SqliteHistory,
+    created_sort_key,
     current_commit,
     entries_from_result,
+    format_created,
     manifest_hash,
     open_history,
 )
@@ -26,7 +28,7 @@ from repro.core.types import (
 
 
 def make_result(total=1.5, samples=(1.4, 1.5, 1.6), manifest=True,
-                backend="fast"):
+                backend="fast", created="2026-08-06T00:00:00"):
     """A one-cell suite result with repeat stats and (optionally) a manifest."""
     run = BenchmarkRun(
         benchmark="demo",
@@ -51,7 +53,7 @@ def make_result(total=1.5, samples=(1.4, 1.5, 1.6), manifest=True,
     if manifest:
         result.manifest = {
             "schema": "sdvbs-repro/manifest/v1",
-            "created": "2026-08-06T00:00:00",
+            "created": created,
             "measurement": {"backend": backend, "repeats": len(samples or ())},
         }
     return result
@@ -175,6 +177,86 @@ class TestStoreBackends:
         assert store.latest_commit_before("c3") == "c2"
         assert store.latest_commit_before("c2") == "c1"
         assert store.latest_commit_before("c1") == "c2"
+
+    def test_latest_commit_before_orders_by_measurement_time(self, store):
+        """A stale export re-recorded late must not hijack the baseline.
+
+        ``old`` is measured first, ``new`` second; recording another of
+        ``old``'s exports *after* ``new`` (a second backend, say) puts
+        ``old`` last in insertion order, but ``new`` remains the most
+        recently measured commit and must stay the default baseline.
+        """
+        store.record(make_result(created="2026-08-01T00:00:00"),
+                     commit="old")
+        store.record(make_result(created="2026-08-05T00:00:00"),
+                     commit="new")
+        store.record(make_result(backend="ref",
+                                 created="2026-08-01T00:00:00"),
+                     commit="old")
+        assert store.latest_commit_before("candidate") == "new"
+        assert store.latest_commit_before("new") == "old"
+
+    def test_bulk_ingest_scans_store_once(self, tmp_path):
+        """JSONL ingest of N entries must not rescan the file N times."""
+
+        class CountingJsonl(JsonlHistory):
+            def __init__(self, path):
+                super().__init__(path)
+                self.scans = 0
+
+            def _iter_entries(self):
+                self.scans += 1
+                return super()._iter_entries()
+
+        result = make_result()
+        for size in (InputSize.SQCIF, InputSize.CIF):
+            run = BenchmarkRun(
+                benchmark="demo", size=size, variant=0,
+                total_seconds=1.0, kernel_seconds={"A": 0.5},
+                kernel_calls={"A": 4})
+            result.runs.append(run)
+        counting = CountingJsonl(str(tmp_path / "h.jsonl"))
+        added = counting.record(result, commit="c1")
+        assert len(added) == 3
+        assert counting.scans == 1
+        # ... and a duplicate batch still detects everything in one scan.
+        counting.scans = 0
+        assert counting.record(result, commit="c1") == []
+        assert counting.scans == 1
+
+    def test_created_comes_from_manifest(self):
+        entries = entries_from_result(make_result(), commit="c1")
+        assert entries[0].created == "2026-08-06T00:00:00"
+
+    def test_created_falls_back_to_now_without_manifest(self):
+        entries = entries_from_result(make_result(manifest=False),
+                                      commit="c1")
+        assert entries[0].created.startswith("20")  # an ISO stamp, not ""
+
+
+class TestCreatedStamps:
+    def test_format_created_always_carries_an_offset(self):
+        """The %z + time.localtime path rendered an empty offset on some
+        platforms; the aware-datetime path always formats one."""
+        formatted = format_created("1754300000.5")
+        assert "+" in formatted or formatted.count("-") > 2
+
+    def test_format_created_passthrough_for_non_numeric(self):
+        assert format_created("2026-08-06T00:00:00") == "2026-08-06T00:00:00"
+        assert format_created("garbage") == "garbage"
+
+    def test_sort_key_accepts_all_written_formats(self):
+        epoch = created_sort_key("1754300000.5")
+        assert epoch == pytest.approx(1754300000.5)
+        # strftime("%z") offsets ("+0000", no colon) and fromisoformat
+        # offsets ("+00:00") must order identically.
+        legacy = created_sort_key("2026-08-06T00:00:00+0000")
+        modern = created_sort_key("2026-08-06T00:00:00+00:00")
+        assert legacy == modern > 0
+        assert created_sort_key("2026-08-07T00:00:00+0000") > legacy
+
+    def test_sort_key_unparseable_sorts_oldest(self):
+        assert created_sort_key("garbage") == 0.0
 
 
 class TestJsonlFormat:

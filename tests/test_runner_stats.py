@@ -230,6 +230,21 @@ class TestScalingFallback:
     def test_empty_result_still_empty(self):
         assert scaling_series(SuiteResult(), "demo") == []
 
+    def test_zero_base_median_warns_instead_of_silent_empty(self):
+        result = SuiteResult()
+        for size, total in ((InputSize.SQCIF, 0.0), (InputSize.QCIF, 2.0)):
+            result.runs.append(
+                BenchmarkRun(
+                    benchmark="demo",
+                    size=size,
+                    variant=0,
+                    total_seconds=total,
+                )
+            )
+        with pytest.warns(RuntimeWarning, match="cannot normalize"):
+            series = scaling_series(result, "demo")
+        assert series == []
+
 
 class TestNullProfilerSingleton:
     def test_shared_instance(self):
