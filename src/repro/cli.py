@@ -26,7 +26,13 @@ Subcommands::
     sdvbs history list              # recorded commits + cell counts
     sdvbs history show <commit>     # per-cell medians of one commit
     sdvbs regress run.json          # noise-aware regression gate (exit 1
-                                    # on confirmed >=k-sigma slowdowns)
+                                    # on confirmed >=k-sigma slowdowns,
+                                    # incl. streaming p50/p95/p99 cells)
+    sdvbs stream disparity --fps 10 --deadline-ms 100
+                                    # paced frame streaming: latency
+                                    # percentiles, jitter, sustained FPS,
+                                    # deadline misses (--slo-gate exits 1
+                                    # over the miss-rate budget)
     sdvbs shard plan --shards 4 --out-dir plan
                                     # split the grid into shard spec files
     sdvbs shard run plan/shard-000.json [--resume]
@@ -97,8 +103,11 @@ def _size_arg(name: str) -> InputSize:
 
 
 def _parse_sizes(names: Optional[List[InputSize]]) -> List[InputSize]:
+    """Default to the paper's trio; larger sizes (VGA) are opt-in."""
     if not names:
-        return list(InputSize)
+        from .core.runner import ALL_SIZES
+
+        return list(ALL_SIZES)
     return list(names)
 
 
@@ -463,6 +472,7 @@ def _run_regress(args: argparse.Namespace) -> int:
         cells_from_entries,
         cells_from_result,
         detect_regressions,
+        latency_cells_from_result,
         render_regressions,
         report_to_json,
     )
@@ -471,11 +481,13 @@ def _run_regress(args: argparse.Namespace) -> int:
     if candidate_result is None:
         return 2
     candidate_cells = cells_from_result(candidate_result)
+    candidate_cells.update(latency_cells_from_result(candidate_result))
     if args.against:
         baseline_result = _load_result(args.against, "regress")
         if baseline_result is None:
             return 2
         baseline_cells = cells_from_result(baseline_result)
+        baseline_cells.update(latency_cells_from_result(baseline_result))
         baseline_label = args.against
     else:
         with open_history(args.db) as store:
@@ -507,6 +519,66 @@ def _run_regress(args: argparse.Namespace) -> int:
             handle.write(report_to_json(report))
         print(f"wrote machine-readable verdict to {args.json_out}")
     return report.exit_code
+
+
+def _run_stream(args: argparse.Namespace, cli_argv: List[str]) -> int:
+    """``sdvbs stream``: paced frame streaming with latency QoS metrics."""
+    from .core.streaming import (
+        StreamConfig,
+        render_stream_report,
+        run_streams,
+    )
+    from .core.types import SuiteResult
+
+    try:
+        config = StreamConfig(
+            benchmark=args.slug,
+            size=args.size,
+            fps=args.fps,
+            frames=args.frames,
+            streams=args.streams,
+            deadline_ms=args.deadline_ms,
+            warmup_frames=args.warmup_frames,
+            backend=args.backend,
+            variants=args.variants,
+        )
+    except ValueError as exc:
+        print(f"sdvbs stream: {exc}", file=sys.stderr)
+        return 2
+    recorder = TraceRecorder() if args.trace else None
+    try:
+        report = run_streams(config, recorder=recorder)
+    except KeyError as exc:
+        print(f"sdvbs stream: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(render_stream_report(report))
+    result = SuiteResult()
+    result.manifest = run_manifest(argv=cli_argv,
+                                   warmup=config.warmup_frames,
+                                   repeats=config.frames,
+                                   backend=config.backend)
+    result.streaming = report.to_dict()
+    if args.json:
+        from .core.export import result_to_json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result_to_json(result))
+        print(f"wrote streaming export (schema v7) to {args.json}")
+    if args.trace and recorder is not None:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(chrome_trace_json(recorder.spans, result.manifest))
+        print(f"wrote frame-span trace to {args.trace}")
+    if args.slo_gate:
+        rate = report.merged_miss_rate()
+        if rate > args.max_miss_rate:
+            print(f"sdvbs stream: SLO gate failed: deadline-miss rate "
+                  f"{100.0 * rate:.1f}% exceeds "
+                  f"{100.0 * args.max_miss_rate:g}% "
+                  f"(budget {config.budget_ms:g} ms)", file=sys.stderr)
+            return 1
+        print(f"SLO gate passed: deadline-miss rate {100.0 * rate:.1f}% "
+              f"<= {100.0 * args.max_miss_rate:g}%")
+    return 0
 
 
 def _run_shard_plan(args: argparse.Namespace) -> int:
@@ -713,7 +785,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_parser.add_argument("slug", help="benchmark slug (e.g. disparity)")
     trace_parser.add_argument("--size", type=_size_arg, default=InputSize.SQCIF,
                               metavar="SIZE",
-                              help="SQCIF/QCIF/CIF, case-insensitive "
+                              help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                               "(default: SQCIF)")
     trace_parser.add_argument("--variant", type=int, default=0,
                               help="input variant (0-4, default: 0)")
@@ -739,7 +811,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     flame_parser.add_argument("slug", help="benchmark slug (e.g. disparity)")
     flame_parser.add_argument("--size", type=_size_arg,
                               default=InputSize.CIF, metavar="SIZE",
-                              help="SQCIF/QCIF/CIF, case-insensitive "
+                              help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                               "(default: CIF)")
     flame_parser.add_argument("--variant", type=int, default=0,
                               help="input variant (0-4, default: 0)")
@@ -763,7 +835,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     xcheck_parser.add_argument("slug", help="benchmark slug (e.g. disparity)")
     xcheck_parser.add_argument("--size", type=_size_arg,
                                default=InputSize.CIF, metavar="SIZE",
-                               help="SQCIF/QCIF/CIF, case-insensitive "
+                               help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                                "(default: CIF)")
     xcheck_parser.add_argument("--variant", type=int, default=0,
                                help="input variant (0-4, default: 0)")
@@ -788,8 +860,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                                help="benchmark slugs (default: all)")
     report_parser.add_argument("--sizes", nargs="*", metavar="SIZE",
                                type=_size_arg,
-                               help="SQCIF/QCIF/CIF, case-insensitive "
-                               "(default: all)")
+                               help="SQCIF/QCIF/CIF/VGA, case-insensitive "
+                               "(default: the paper trio; VGA is "
+                               "opt-in)")
     report_parser.add_argument("--out", default="report.html",
                                metavar="PATH",
                                help="HTML output path "
@@ -824,8 +897,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     verify_parser.add_argument("--sizes", nargs="*", metavar="SIZE",
                                type=_size_arg,
-                               help="SQCIF/QCIF/CIF, case-insensitive "
-                               "(default: all three)")
+                               help="SQCIF/QCIF/CIF/VGA, case-insensitive "
+                               "(default: the paper trio)")
     verify_parser.add_argument("--variants", type=int, default=1,
                                metavar="N",
                                help="input variants checked per size, 1-5 "
@@ -839,8 +912,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "(default: all)")
     run_parser.add_argument("--sizes", nargs="*", metavar="SIZE",
                             type=_size_arg,
-                            help="SQCIF/QCIF/CIF, case-insensitive "
-                            "(default: all)")
+                            help="SQCIF/QCIF/CIF/VGA, case-insensitive "
+                            "(default: the paper trio; VGA is "
+                            "opt-in)")
     run_parser.add_argument("--variants", type=int, default=1,
                             help="input variants per size (1-5)")
     run_parser.add_argument("--json", action="store_true",
@@ -904,7 +978,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                              help="only count cells of this benchmark")
     list_parser.add_argument("--size", default=None, metavar="SIZE",
                              help="only count cells of this input size "
-                             "(SQCIF/QCIF/CIF)")
+                             "(SQCIF/QCIF/CIF/VGA)")
     list_parser.add_argument("--backend", default=None,
                              choices=["ref", "fast"],
                              help="only count cells measured with this "
@@ -954,6 +1028,62 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 help="also write the machine-readable "
                                 "verdict JSON to PATH")
 
+    stream_parser = sub.add_parser(
+        "stream",
+        help="pace continuous frames through one application at a "
+        "target FPS and report per-frame latency percentiles, jitter, "
+        "sustained throughput and deadline misses",
+    )
+    stream_parser.add_argument("slug",
+                               help="benchmark slug (e.g. disparity, "
+                               "tracking, sift)")
+    stream_parser.add_argument("--size", type=_size_arg,
+                               default=InputSize.CIF, metavar="SIZE",
+                               help="SQCIF/QCIF/CIF/VGA, case-insensitive "
+                               "(default: CIF)")
+    stream_parser.add_argument("--fps", type=float, default=10.0,
+                               metavar="N",
+                               help="target frame release rate "
+                               "(default: 10)")
+    stream_parser.add_argument("--frames", type=int, default=50,
+                               metavar="N",
+                               help="measured steady-state frames per "
+                               "stream (default: 50)")
+    stream_parser.add_argument("--streams", type=int, default=1,
+                               metavar="N",
+                               help="concurrent streams on a thread pool "
+                               "(default: 1)")
+    stream_parser.add_argument("--deadline-ms", type=float, default=None,
+                               metavar="MS",
+                               help="per-frame latency budget in "
+                               "milliseconds (default: the frame period "
+                               "1000/fps)")
+    stream_parser.add_argument("--warmup-frames", type=int, default=2,
+                               metavar="N",
+                               help="paced frames discarded before the "
+                               "steady-state window (default: 2)")
+    stream_parser.add_argument("--variants", type=int, default=2,
+                               metavar="N",
+                               help="input variants cycled frame-to-frame, "
+                               "1-5 (default: 2)")
+    stream_parser.add_argument("--json", default="stream.json",
+                               metavar="PATH",
+                               help="streaming export JSON path; empty "
+                               "string disables (default: stream.json)")
+    stream_parser.add_argument("--trace", default=None, metavar="PATH",
+                               help="also write a Chrome trace with one "
+                               "span per frame (pacing gaps visible in "
+                               "Perfetto)")
+    stream_parser.add_argument("--slo-gate", action="store_true",
+                               help="exit 1 when the merged deadline-miss "
+                               "rate exceeds --max-miss-rate")
+    stream_parser.add_argument("--max-miss-rate", type=float, default=0.0,
+                               metavar="FRAC",
+                               help="miss-rate budget for --slo-gate, as "
+                               "a fraction (default: 0.0 = any miss "
+                               "fails)")
+    _add_backend_flag(stream_parser)
+
     shard_parser = sub.add_parser(
         "shard",
         help="sharded suite execution: split the benchmark grid into "
@@ -970,8 +1100,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="benchmark slugs (default: all nine)")
     splan_parser.add_argument("--sizes", nargs="*", metavar="SIZE",
                               type=_size_arg,
-                              help="SQCIF/QCIF/CIF, case-insensitive "
-                              "(default: all)")
+                              help="SQCIF/QCIF/CIF/VGA, case-insensitive "
+                              "(default: the paper trio; VGA is "
+                              "opt-in)")
     splan_parser.add_argument("--variants", type=int, default=1, metavar="N",
                               help="input variants per size, 1-5 "
                               "(default: 1)")
@@ -1066,6 +1197,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_history(args)
     if args.command == "regress":
         return _run_regress(args)
+    if args.command == "stream":
+        return _run_stream(args, cli_argv)
     if args.command == "shard":
         return _run_shard(args, cli_argv)
 

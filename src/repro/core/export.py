@@ -32,12 +32,18 @@ Schema history:
   additionally carry an ``instrumentation`` block (measured per-probe
   profiler overhead).  v1-v4 payloads remain readable (their runs carry
   no sampling profile).
-* ``sdvbs-repro/suite-result/v6`` (current) — optional top-level
-  ``shard`` provenance block (:mod:`repro.core.shard`): the plan hash,
-  shard index/count and per-cell identities of a sharded sweep, or the
+* ``sdvbs-repro/suite-result/v6`` — optional top-level ``shard``
+  provenance block (:mod:`repro.core.shard`): the plan hash, shard
+  index/count and per-cell identities of a sharded sweep, or the
   ``merged_from`` record of a merged one.  Unsharded exports carry no
   ``shard`` key and are otherwise identical to v5.  v1-v5 payloads
   remain readable.
+* ``sdvbs-repro/suite-result/v7`` (current) — optional top-level
+  ``streaming`` block (:mod:`repro.core.streaming`): the pacer config
+  plus per-stream and merged frame-latency percentiles, jitter,
+  sustained FPS and deadline-miss accounting of a paced streaming run.
+  Batch exports carry no ``streaming`` key and are otherwise identical
+  to v6.  v1-v6 payloads remain readable.
 """
 
 from __future__ import annotations
@@ -54,11 +60,12 @@ SCHEMA_V3 = "sdvbs-repro/suite-result/v3"
 SCHEMA_V4 = "sdvbs-repro/suite-result/v4"
 SCHEMA_V5 = "sdvbs-repro/suite-result/v5"
 SCHEMA_V6 = "sdvbs-repro/suite-result/v6"
+SCHEMA_V7 = "sdvbs-repro/suite-result/v7"
 #: Schema written by :func:`result_to_dict`.
-CURRENT_SCHEMA = SCHEMA_V6
+CURRENT_SCHEMA = SCHEMA_V7
 #: Schemas :func:`result_from_dict` accepts.
 READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_V5,
-                    SCHEMA_V6)
+                    SCHEMA_V6, SCHEMA_V7)
 
 
 def _stats_to_dict(stats: AggregatedRun) -> Dict[str, object]:
@@ -126,6 +133,8 @@ def result_to_dict(result: SuiteResult,
     }
     if result.shard is not None:
         payload["shard"] = dict(result.shard)
+    if result.streaming is not None:
+        payload["streaming"] = dict(result.streaming)
     return payload
 
 
@@ -166,13 +175,14 @@ def run_from_dict(entry: Dict[str, object]) -> BenchmarkRun:
 def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     """Rebuild a :class:`SuiteResult` from :func:`result_to_dict` output.
 
-    Accepts the current v6 schema and legacy v1-v5 payloads (v1 runs
+    Accepts the current v7 schema and legacy v1-v6 payloads (v1 runs
     carry no repeat statistics; v1/v2 results carry no manifest; v1-v3
     runs carry no metrics; v1-v4 runs carry no sampling profile; v1-v5
-    results carry no shard block).  ``outputs`` are not round-tripped
-    (they were stringified); everything the reports need — timings,
-    attribution, measurement statistics, work-accounting metrics, shard
-    provenance and the manifest — is restored exactly.
+    results carry no shard block; v1-v6 results carry no streaming
+    block).  ``outputs`` are not round-tripped (they were stringified);
+    everything the reports need — timings, attribution, measurement
+    statistics, work-accounting metrics, shard provenance, streaming
+    latency and the manifest — is restored exactly.
     """
     schema = payload.get("schema")
     if schema not in READABLE_SCHEMAS:
@@ -184,6 +194,9 @@ def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     shard = payload.get("shard")
     if shard is not None:
         result.shard = dict(shard)  # type: ignore[arg-type]
+    streaming = payload.get("streaming")
+    if streaming is not None:
+        result.streaming = dict(streaming)  # type: ignore[arg-type]
     runs: List[Dict[str, object]] = payload["runs"]  # type: ignore[assignment]
     for entry in runs:
         result.runs.append(run_from_dict(entry))

@@ -36,6 +36,7 @@ recorded intensities are comparable across hosts and backends.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
@@ -45,6 +46,195 @@ WorkModel = Callable[..., "WorkEstimate"]
 
 #: Bytes per element for the suite's float64 arrays.
 FLOAT_BYTES = 8
+
+
+class LogHistogram:
+    """Bounded log-bucketed histogram with interpolated percentiles.
+
+    HdrHistogram-style: values are recorded into fixed geometrically
+    spaced buckets covering ``[low, high)`` with ``buckets_per_decade``
+    buckets per factor of 10, so memory is O(buckets) no matter how many
+    observations arrive — the fix for the old unbounded raw-sample
+    lists, and the storage the streaming driver uses for per-frame
+    latencies.  Exact ``count``/``sum``/``min``/``max`` (and a running
+    sum of squares for ``stddev``) are tracked alongside the buckets.
+
+    The first ``raw_limit`` observations are additionally retained
+    verbatim.  While every observation is retained
+    (``count <= raw_limit``) percentiles are computed *exactly* with
+    numpy-style linear interpolation on the sorted samples; beyond the
+    limit they interpolate within the log buckets, accurate to one
+    bucket width (relative error ``10**(1/buckets_per_decade) - 1``,
+    about 3.7% at the default resolution).  Values outside
+    ``[low, high)`` clamp into the edge buckets; reported percentiles
+    are always clamped into the exact ``[min, max]`` envelope.
+
+    ``merge`` combines two histograms with identical bucket layouts —
+    the multi-stream driver merges per-stream histograms this way.
+    Percentiles of a merged histogram are deterministic regardless of
+    merge order.
+    """
+
+    __slots__ = ("low", "high", "buckets_per_decade", "raw_limit",
+                 "_counts", "_raw", "count", "total", "sum_sq",
+                 "min", "max")
+
+    def __init__(self, low: float = 1e-6, high: float = 3600.0,
+                 buckets_per_decade: int = 64,
+                 raw_limit: int = 512) -> None:
+        if low <= 0 or high <= low:
+            raise ValueError("need 0 < low < high")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.low = float(low)
+        self.high = float(high)
+        self.buckets_per_decade = int(buckets_per_decade)
+        self.raw_limit = int(raw_limit)
+        decades = math.log10(self.high / self.low)
+        self._counts: List[int] = [0] * (int(math.ceil(
+            decades * self.buckets_per_decade)) + 1)
+        self._raw: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------
+
+    def _bucket_index(self, value: float) -> int:
+        if value < self.low:
+            return 0
+        index = int(self.buckets_per_decade
+                    * math.log10(value / self.low))
+        return min(index, len(self._counts) - 1)
+
+    def _edge(self, index: int) -> float:
+        return self.low * 10.0 ** (index / self.buckets_per_decade)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (O(1) time, bounded memory)."""
+        value = float(value)
+        self._counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        self.sum_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._raw) < self.raw_limit:
+            self._raw.append(value)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 below two observations)."""
+        if self.count < 2:
+            return 0.0
+        var = self.sum_sq / self.count - self.mean ** 2
+        return math.sqrt(max(0.0, var))
+
+    @property
+    def exact(self) -> bool:
+        """True while every observation is still retained verbatim."""
+        return self.count == len(self._raw)
+
+    def raw_samples(self) -> List[float]:
+        """The retained raw observations (all of them while ``exact``)."""
+        return list(self._raw)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``0 <= q <= 100``), interpolated.
+
+        Exact while ``exact`` holds; otherwise accurate to one bucket
+        width.  Returns 0.0 for an empty histogram.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        rank = q / 100.0 * (self.count - 1)
+        if self.exact:
+            ordered = sorted(self._raw)
+            lower = int(math.floor(rank))
+            upper = min(lower + 1, len(ordered) - 1)
+            frac = rank - lower
+            return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count > rank:
+                lo, hi = self._edge(index), self._edge(index + 1)
+                frac = (rank - cumulative) / bucket_count
+                value = lo + frac * (hi - lo)
+                return min(max(value, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    def percentiles(self, qs: Tuple[float, ...] = (50.0, 90.0, 95.0,
+                                                   99.0, 99.9)
+                    ) -> Dict[str, float]:
+        """``{"p50": ..., "p90": ..., ...}`` for the requested ranks."""
+        out: Dict[str, float] = {}
+        for q in qs:
+            label = f"{q:g}"
+            out[f"p{label}"] = self.percentile(q)
+        return out
+
+    def nonzero_buckets(self) -> List[Tuple[float, float, int]]:
+        """``(lower_edge, upper_edge, count)`` for every occupied bucket."""
+        return [
+            (self._edge(i), self._edge(i + 1), c)
+            for i, c in enumerate(self._counts)
+            if c
+        ]
+
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other``'s observations into this histogram in place."""
+        if (other.low != self.low or other.high != self.high
+                or other.buckets_per_decade != self.buckets_per_decade):
+            raise ValueError("cannot merge histograms with different "
+                             "bucket layouts")
+        was_exact = self.exact and other.exact
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        self.sum_sq += other.sum_sq
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if was_exact and self.count - len(self._raw) == len(other._raw):
+            self._raw.extend(other._raw)
+            if len(self._raw) > self.raw_limit:
+                # Keep exactness decisions honest: a truncated raw set
+                # would silently bias exact percentiles, so drop to
+                # bucket-resolution mode instead.
+                del self._raw[self.raw_limit:]
+        else:
+            del self._raw[min(len(self._raw), self.raw_limit):]
+
+    def summary(self) -> Dict[str, float]:
+        """Exact aggregates plus interpolated latency percentiles."""
+        empty = self.count == 0
+        payload: Dict[str, float] = {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": 0.0 if empty else self.min,
+            "max": 0.0 if empty else self.max,
+            "mean": self.mean,
+            "stddev": self.stddev,
+        }
+        payload.update(self.percentiles())
+        return payload
 
 
 @dataclass(frozen=True)
@@ -141,14 +331,16 @@ class MetricsRegistry:
 
     Deliberately minimal: plain dictionaries, no locking (one registry
     per measurement cell, like the profiler), no export dependencies.
-    Histograms retain their samples; :meth:`to_dict` summarizes them as
-    count/sum/min/max/mean so exports stay bounded.
+    Histograms are bounded :class:`LogHistogram` instances — memory
+    stays O(buckets) however many samples a long stream observes — and
+    :meth:`to_dict` summarizes them as count/sum/min/max/mean (exact,
+    from the running aggregates) so exports stay bounded too.
     """
 
     def __init__(self) -> None:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
-        self._histograms: Dict[str, List[float]] = {}
+        self._histograms: Dict[str, LogHistogram] = {}
         self._work: Dict[str, KernelWork] = {}
 
     # ------------------------------------------------------------------
@@ -163,8 +355,11 @@ class MetricsRegistry:
         self._gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
-        """Append one sample to histogram ``name``."""
-        self._histograms.setdefault(name, []).append(float(value))
+        """Record one sample into histogram ``name`` (bounded memory)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LogHistogram()
+        histogram.observe(value)
 
     @property
     def counters(self) -> Dict[str, float]:
@@ -175,8 +370,19 @@ class MetricsRegistry:
         return dict(self._gauges)
 
     def histogram(self, name: str) -> List[float]:
-        """The raw samples of one histogram ([] when never observed)."""
-        return list(self._histograms.get(name, []))
+        """The raw samples of one histogram ([] when never observed).
+
+        Exact and complete up to the histogram's retention limit
+        (:attr:`LogHistogram.raw_limit` samples); past that, only the
+        earliest retained samples are returned while the summary in
+        :meth:`to_dict` still accounts every observation.
+        """
+        histogram = self._histograms.get(name)
+        return histogram.raw_samples() if histogram is not None else []
+
+    def log_histogram(self, name: str) -> Optional[LogHistogram]:
+        """The underlying bounded histogram (``None`` if never observed)."""
+        return self._histograms.get(name)
 
     # ------------------------------------------------------------------
     # Kernel work accounting (fed by the backend dispatcher)
@@ -200,13 +406,13 @@ class MetricsRegistry:
         """JSON-ready snapshot: counters, gauges, histogram summaries,
         per-kernel work with derived rates."""
         histograms: Dict[str, object] = {}
-        for name, samples in sorted(self._histograms.items()):
+        for name, histogram in sorted(self._histograms.items()):
             histograms[name] = {
-                "count": len(samples),
-                "sum": sum(samples),
-                "min": min(samples),
-                "max": max(samples),
-                "mean": sum(samples) / len(samples),
+                "count": histogram.count,
+                "sum": histogram.total,
+                "min": histogram.min,
+                "max": histogram.max,
+                "mean": histogram.mean,
             }
         return {
             "counters": {k: self._counters[k] for k in sorted(self._counters)},

@@ -1,0 +1,486 @@
+"""Paced streaming driver: per-frame latency, jitter and deadline QoS.
+
+SD-VBS motivates its workloads as the hot loops of real-time vision
+systems, but batch-style single-frame timing cannot say whether a
+pipeline *holds a frame deadline*.  Following CAVBench's latency-QoS
+framing (PAPERS.md, arXiv 1810.06659), this module pushes continuous
+frame sequences — built from the deterministic :mod:`repro.core.inputs`
+generators — through any registered application at a target FPS and
+reports the metrics a deployed stack is judged by:
+
+* **Per-frame latency percentiles** (p50/p90/p95/p99/p99.9), recorded
+  into the bounded :class:`~repro.core.metrics.LogHistogram` so a
+  stream can run for hours without growing memory.
+* **Inter-frame jitter**: RMS deviation of consecutive frame-start
+  intervals from the ideal period.
+* **Deadline-miss accounting** against a per-stream latency budget
+  (default: the frame period itself).
+* **Sustained throughput** over the warm-up-excluded steady-state
+  window.
+
+The pacer uses an **absolute schedule** on a monotonic clock: frame *k*
+is released at ``t0 + k/fps``, never at ``previous + 1/fps``, so sleep
+quantization and slow frames do not accumulate drift.  When a frame
+overruns its slot the next frame starts immediately (its lateness is
+recorded as an *overrun*) and the schedule re-converges as soon as the
+pipeline catches up — the standard open-loop load-generation discipline
+that avoids coordinated omission.
+
+Multi-stream mode runs N identical pacers on a thread pool (the
+vectorized kernels release the GIL inside numpy; the ``ref`` backend
+serializes, which is itself part of the load shape being measured) and
+reports per-stream plus merged percentiles.
+
+Both ``clock`` and ``sleep`` are injectable so tests drive the pacer on
+a fake clock with zero wall time.  With a
+:class:`~repro.core.tracing.TraceRecorder` attached, every frame emits
+a ``frame`` span wrapping the profiler's ``app``/``kernel`` spans, so
+Perfetto shows the pacing gaps between frames.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import LogHistogram
+from .profiler import KernelProfiler
+from .registry import get_benchmark
+from .tracing import CATEGORY_FRAME, TraceRecorder
+from .types import VARIANTS_PER_SIZE, InputSize
+
+#: Schema identifier stamped on the export's ``streaming`` block.
+STREAMING_SCHEMA = "sdvbs-repro/streaming/v1"
+
+#: Percentile ranks reported everywhere a latency summary appears.
+PERCENTILES = (50.0, 90.0, 95.0, 99.0, 99.9)
+
+#: A frame executor: (frame index, profiler) -> None.  The default one
+#: runs the registered application on a cycling pool of prepared
+#: workloads; tests inject synthetic ones that advance a fake clock.
+FrameFn = Callable[[int, KernelProfiler], None]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Pacer configuration for one streaming measurement.
+
+    ``frames`` counts *measured* steady-state frames; ``warmup_frames``
+    additional frames are paced and traced first but excluded from all
+    statistics (cold caches, allocator churn, JIT-like numpy paths).
+    ``deadline_ms`` is the per-frame latency budget; ``None`` means the
+    frame period ``1000/fps`` (a frame is "on time" if it finishes
+    before the next one is due).  ``variants`` is the number of
+    distinct input variants (1..5) cycled frame-to-frame so consecutive
+    frames do not recompute byte-identical inputs.
+    """
+
+    benchmark: str
+    size: InputSize
+    fps: float = 10.0
+    frames: int = 50
+    streams: int = 1
+    deadline_ms: Optional[float] = None
+    warmup_frames: int = 2
+    backend: Optional[str] = None
+    variants: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+        if self.frames < 1:
+            raise ValueError("need at least one measured frame")
+        if self.streams < 1:
+            raise ValueError("need at least one stream")
+        if self.warmup_frames < 0:
+            raise ValueError("warmup_frames must be non-negative")
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValueError("deadline_ms must be non-negative")
+        if not 1 <= self.variants <= VARIANTS_PER_SIZE:
+            raise ValueError(
+                f"variants must be in 1..{VARIANTS_PER_SIZE}")
+
+    @property
+    def period(self) -> float:
+        """Ideal seconds between frame releases."""
+        return 1.0 / self.fps
+
+    @property
+    def budget_ms(self) -> float:
+        """Effective per-frame deadline in milliseconds."""
+        if self.deadline_ms is not None:
+            return self.deadline_ms
+        return 1000.0 * self.period
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "size": self.size.name,
+            "fps": self.fps,
+            "frames": self.frames,
+            "streams": self.streams,
+            "deadline_ms": self.budget_ms,
+            "warmup_frames": self.warmup_frames,
+            "backend": self.backend,
+            "variants": self.variants,
+        }
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Timing of one paced frame, relative to the stream's t0.
+
+    ``scheduled`` is the absolute-schedule release time ``k * period``;
+    ``start`` the actual release (later when the previous frame overran
+    its slot); ``end`` when the pipeline finished the frame.
+    """
+
+    index: int
+    scheduled: float
+    start: float
+    end: float
+    warmup: bool = False
+    #: True when the pacer found the schedule already behind at release
+    #: time (the previous frame overran its slot) — distinguished from
+    #: ordinary sleep-wakeup tardiness, which still sleeps first.
+    overran: bool = False
+
+    @property
+    def latency(self) -> float:
+        """Seconds the pipeline spent on this frame."""
+        return self.end - self.start
+
+    @property
+    def lateness(self) -> float:
+        """Seconds the frame started after its scheduled release."""
+        return self.start - self.scheduled
+
+
+#: Lateness below which a no-sleep release still counts as on time
+#: (absorbs back-to-back clock reads on real clocks; exact on fakes).
+OVERRUN_EPSILON = 1e-4
+
+
+@dataclass
+class StreamResult:
+    """One stream's paced run: frame log plus steady-state histogram."""
+
+    stream: int
+    config: StreamConfig
+    frames: List[FrameRecord] = field(default_factory=list)
+    histogram: LogHistogram = field(default_factory=LogHistogram)
+
+    def steady_frames(self) -> List[FrameRecord]:
+        return [f for f in self.frames if not f.warmup]
+
+    # ------------------------------------------------------------------
+    # Steady-state metrics
+
+    def interval_deviations(self) -> List[float]:
+        """Start-to-start interval errors vs the ideal period (seconds)."""
+        steady = self.steady_frames()
+        period = self.config.period
+        return [
+            steady[i + 1].start - steady[i].start - period
+            for i in range(len(steady) - 1)
+        ]
+
+    def jitter_seconds(self) -> float:
+        """RMS deviation of inter-frame start intervals from the period."""
+        deviations = self.interval_deviations()
+        if not deviations:
+            return 0.0
+        return (sum(d * d for d in deviations) / len(deviations)) ** 0.5
+
+    def sustained_fps(self) -> float:
+        """Frames completed per wall second over the steady window."""
+        steady = self.steady_frames()
+        if not steady:
+            return 0.0
+        elapsed = steady[-1].end - steady[0].start
+        if elapsed <= 0:
+            return 0.0
+        return len(steady) / elapsed
+
+    def deadline_misses(self) -> int:
+        budget = self.config.budget_ms / 1000.0
+        return sum(1 for f in self.steady_frames() if f.latency > budget)
+
+    def overruns(self) -> int:
+        """Steady frames released late because a previous frame ran long."""
+        return sum(1 for f in self.steady_frames() if f.overran)
+
+    def to_dict(self) -> Dict[str, object]:
+        steady = self.steady_frames()
+        misses = self.deadline_misses()
+        return {
+            "stream": self.stream,
+            "frames": len(steady),
+            "warmup_frames": len(self.frames) - len(steady),
+            "overruns": self.overruns(),
+            "latency_ms": _scale_summary(self.histogram),
+            "jitter_ms": 1000.0 * self.jitter_seconds(),
+            "mean_interval_ms": _mean_interval_ms(steady, self.config),
+            "sustained_fps": self.sustained_fps(),
+            "deadline": {
+                "budget_ms": self.config.budget_ms,
+                "misses": misses,
+                "frames": len(steady),
+                "miss_rate": misses / len(steady) if steady else 0.0,
+            },
+        }
+
+
+def _mean_interval_ms(steady: Sequence[FrameRecord],
+                      config: StreamConfig) -> float:
+    if len(steady) < 2:
+        return 1000.0 * config.period
+    span = steady[-1].start - steady[0].start
+    return 1000.0 * span / (len(steady) - 1)
+
+
+def _scale_summary(histogram: LogHistogram) -> Dict[str, float]:
+    """A latency summary in milliseconds from a seconds histogram."""
+    summary = histogram.summary()
+    scaled = {"count": summary["count"]}
+    for key, value in summary.items():
+        if key != "count":
+            scaled[key] = 1000.0 * value
+    return scaled
+
+
+@dataclass
+class StreamingReport:
+    """All streams of one paced measurement plus merged aggregates."""
+
+    config: StreamConfig
+    streams: List[StreamResult]
+
+    def ordered_streams(self) -> List[StreamResult]:
+        """Streams sorted by index, so merged floating-point aggregates
+        do not depend on thread completion order."""
+        return sorted(self.streams, key=lambda s: s.stream)
+
+    def merged_histogram(self) -> LogHistogram:
+        merged = LogHistogram()
+        for stream in self.ordered_streams():
+            merged.merge(stream.histogram)
+        return merged
+
+    def merged_misses(self) -> Tuple[int, int]:
+        """(missed frames, total steady frames) across all streams."""
+        missed = sum(s.deadline_misses() for s in self.streams)
+        total = sum(len(s.steady_frames()) for s in self.streams)
+        return missed, total
+
+    def merged_miss_rate(self) -> float:
+        missed, total = self.merged_misses()
+        return missed / total if total else 0.0
+
+    def aggregate_fps(self) -> float:
+        """Total frames/second delivered across all concurrent streams."""
+        return sum(s.sustained_fps() for s in self.ordered_streams())
+
+    def merged_jitter_seconds(self) -> float:
+        """Pooled RMS interval deviation over every stream's intervals."""
+        total_sq = 0.0
+        count = 0
+        for stream in self.ordered_streams():
+            for deviation in stream.interval_deviations():
+                total_sq += deviation * deviation
+                count += 1
+        if not count:
+            return 0.0
+        return (total_sq / count) ** 0.5
+
+    def to_dict(self) -> Dict[str, object]:
+        """The export's ``streaming`` block (schema v7)."""
+        merged = self.merged_histogram()
+        missed, total = self.merged_misses()
+        return {
+            "schema": STREAMING_SCHEMA,
+            "config": self.config.to_dict(),
+            "streams": [s.to_dict() for s in self.ordered_streams()],
+            "merged": {
+                "frames": total,
+                "overruns": sum(s.overruns() for s in self.streams),
+                "latency_ms": _scale_summary(merged),
+                "jitter_ms": 1000.0 * self.merged_jitter_seconds(),
+                "sustained_fps": self.aggregate_fps(),
+                "deadline": {
+                    "budget_ms": self.config.budget_ms,
+                    "misses": missed,
+                    "frames": total,
+                    "miss_rate": missed / total if total else 0.0,
+                },
+                "histogram_ms": [
+                    [1000.0 * lo, 1000.0 * hi, count]
+                    for lo, hi, count in merged.nonzero_buckets()
+                ],
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# The pacer
+
+
+def default_frame_fn(config: StreamConfig) -> FrameFn:
+    """Build the real frame executor: the registered application run on
+    a cycling pool of prepared workloads (setup is untimed)."""
+    benchmark = get_benchmark(config.benchmark)
+    pool = [benchmark.setup(config.size, variant)
+            for variant in range(config.variants)]
+
+    def frame(index: int, profiler: KernelProfiler) -> None:
+        benchmark.run(pool[index % len(pool)], profiler)
+
+    return frame
+
+
+def run_stream(config: StreamConfig,
+               stream: int = 0,
+               clock: Optional[Callable[[], float]] = None,
+               sleep: Optional[Callable[[float], None]] = None,
+               frame_fn: Optional[FrameFn] = None,
+               recorder: Optional[TraceRecorder] = None) -> StreamResult:
+    """Pace one stream of frames on an absolute schedule.
+
+    Frame *k*'s release target is ``t0 + k * period`` — computed from
+    the stream origin, never the previous frame — so neither sleep
+    quantization nor slow frames accumulate drift.  Each frame's
+    latency (steady frames only) lands in the stream's bounded
+    histogram; all frames, warm-up included, are kept in the frame log
+    and (optionally) emitted as ``frame`` spans on ``recorder``.
+    """
+    clock = clock or time.perf_counter
+    sleep = sleep or time.sleep
+    if frame_fn is None:
+        frame_fn = default_frame_fn(config)
+    result = StreamResult(stream=stream, config=config)
+    period = config.period
+    total_frames = config.warmup_frames + config.frames
+    t0 = clock()
+    for index in range(total_frames):
+        target = t0 + index * period
+        now = clock()
+        overran = False
+        if now < target:
+            sleep(target - now)
+            now = clock()
+        else:
+            overran = now - target > OVERRUN_EPSILON
+        warmup = index < config.warmup_frames
+        seq = None
+        if recorder is not None:
+            recorder.set_context(
+                benchmark=config.benchmark, size=config.size.name,
+                stream=stream, frame=index,
+                phase="warmup" if warmup else "steady",
+            )
+            seq = recorder.span_open(f"frame[{index}]", CATEGORY_FRAME,
+                                     now)
+        profiler = KernelProfiler(clock=clock, recorder=recorder)
+        with profiler.run():
+            frame_fn(index, profiler)
+        end = clock()
+        if recorder is not None and seq is not None:
+            recorder.span_close(seq, end)
+        record = FrameRecord(index=index, scheduled=target - t0,
+                             start=now - t0, end=end - t0, warmup=warmup,
+                             overran=overran)
+        result.frames.append(record)
+        if not warmup:
+            result.histogram.observe(record.latency)
+    return result
+
+
+def run_streams(config: StreamConfig,
+                clock: Optional[Callable[[], float]] = None,
+                sleep: Optional[Callable[[float], None]] = None,
+                frame_fn: Optional[FrameFn] = None,
+                recorder: Optional[TraceRecorder] = None
+                ) -> StreamingReport:
+    """Run ``config.streams`` concurrent pacers and merge their stats.
+
+    A single stream runs inline.  Multiple streams run on a thread pool
+    — one pacer per thread, each with its own workload pool and private
+    :class:`TraceRecorder` (the shared recorder's span stack is not
+    thread-safe); private traces are absorbed into ``recorder`` on
+    separate tracks afterwards.  Backend selection is process-global,
+    so it is applied once around the whole pool.
+    """
+    from .backend import use_backend
+
+    with use_backend(config.backend):
+        if config.streams == 1:
+            streams = [run_stream(config, 0, clock, sleep, frame_fn,
+                                  recorder)]
+        else:
+            def worker(stream: int) -> Tuple[StreamResult,
+                                             Optional[TraceRecorder]]:
+                local = TraceRecorder() if recorder is not None else None
+                result = run_stream(config, stream, clock, sleep,
+                                    frame_fn, local)
+                return result, local
+
+            with ThreadPoolExecutor(
+                    max_workers=config.streams,
+                    thread_name_prefix="sdvbs-stream") as pool:
+                outcomes = list(pool.map(worker,
+                                         range(config.streams)))
+            streams = [result for result, _ in outcomes]
+            if recorder is not None:
+                for result, local in outcomes:
+                    if local is not None:
+                        recorder.absorb(local.to_serialized(),
+                                        track=result.stream)
+    return StreamingReport(config=config, streams=streams)
+
+
+# ----------------------------------------------------------------------
+# Human rendering (the `sdvbs stream` table)
+
+
+def render_stream_report(report: StreamingReport) -> str:
+    """Fixed-width per-stream + merged latency table."""
+    payload = report.to_dict()
+    config = payload["config"]
+    header = (f"{config['benchmark']} @ {config['size']} | "
+              f"target {config['fps']:g} fps x {config['streams']} "
+              f"stream(s) | deadline {config['deadline_ms']:g} ms | "
+              f"backend {config['backend'] or 'active'}")
+    columns = ("stream", "frames", "p50", "p90", "p95", "p99", "p99.9",
+               "jitter", "fps", "miss")
+    widths = (7, 7, 9, 9, 9, 9, 9, 8, 8, 12)
+    lines = [header, ""]
+    lines.append("  ".join(f"{c:>{w}}" for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+
+    def row(label: str, entry: Dict[str, object]) -> str:
+        latency = entry["latency_ms"]
+        deadline = entry["deadline"]
+        cells = (
+            label,
+            f"{entry['frames']}",
+            *(f"{latency[p]:.2f}" for p in
+              ("p50", "p90", "p95", "p99", "p99.9")),
+            f"{entry['jitter_ms']:.2f}",
+            f"{entry['sustained_fps']:.2f}",
+            f"{deadline['misses']}/{deadline['frames']}"
+            f" ({100.0 * deadline['miss_rate']:.0f}%)",
+        )
+        return "  ".join(f"{c:>{w}}" for c, w in zip(cells, widths))
+
+    for entry in payload["streams"]:
+        lines.append(row(f"#{entry['stream']}", entry))
+    merged = payload["merged"]
+    if len(payload["streams"]) > 1:
+        lines.append(row("merged", merged))
+    lines.append("")
+    lines.append(
+        f"latency units: ms | overruns: {merged['overruns']} | "
+        f"aggregate {merged['sustained_fps']:.2f} fps")
+    return "\n".join(lines)

@@ -15,16 +15,21 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 class InputSize(enum.Enum):
-    """The three input scales shipped with SD-VBS.
+    """The input scales of the suite.
 
-    The paper's Figure 2/3 x-axis labels these by relative pixel count:
-    SQCIF is "1", QCIF is "2" (roughly 2x the pixels of SQCIF) and CIF is
-    "4" (roughly 2x the pixels of QCIF).
+    The paper ships three (SQCIF/QCIF/CIF); Figure 2/3 label them by
+    relative pixel count: SQCIF is "1", QCIF is "2" (roughly 2x the
+    pixels of SQCIF) and CIF is "4" (roughly 2x the pixels of QCIF).
+
+    VGA (640x480) extends the axis beyond the paper's largest size so
+    streaming runs can stress the Figure-2 scaling law; it is opt-in
+    (``--sizes vga``) and excluded from the default paper-trio sweeps.
     """
 
     SQCIF = (128, 96)
     QCIF = (176, 144)
     CIF = (352, 288)
+    VGA = (640, 480)
 
     @property
     def width(self) -> int:
@@ -45,8 +50,13 @@ class InputSize(enum.Enum):
 
     @property
     def relative(self) -> int:
-        """The paper's relative size label: SQCIF=1, QCIF=2, CIF=4."""
-        return {InputSize.SQCIF: 1, InputSize.QCIF: 2, InputSize.CIF: 4}[self]
+        """The paper's relative size label: SQCIF=1, QCIF=2, CIF=4.
+
+        VGA extends the scale with the same pixel-count convention
+        (640*480 / (128*96) = 25).
+        """
+        return {InputSize.SQCIF: 1, InputSize.QCIF: 2,
+                InputSize.CIF: 4, InputSize.VGA: 25}[self]
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
@@ -319,11 +329,17 @@ class SuiteResult:
     (:mod:`repro.core.shard`, schema v6): the plan hash plus either this
     result's shard index/cells or the ``merged_from`` record of a merged
     sweep.  ``None`` for ordinary unsharded runs.
+
+    ``streaming`` is the paced-stream latency block
+    (:mod:`repro.core.streaming`, schema v7): pacer config plus
+    per-stream and merged latency percentiles, jitter, sustained FPS
+    and deadline-miss accounting.  ``None`` for batch-style runs.
     """
 
     runs: List[BenchmarkRun] = field(default_factory=list)
     manifest: Optional[Dict[str, object]] = None
     shard: Optional[Dict[str, object]] = None
+    streaming: Optional[Dict[str, object]] = None
 
     def for_benchmark(self, name: str) -> List[BenchmarkRun]:
         return [run for run in self.runs if run.benchmark == name]

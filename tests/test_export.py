@@ -34,7 +34,7 @@ class TestRoundTrip:
     def test_json_is_valid(self):
         text = result_to_json(small_result())
         payload = json.loads(text)
-        assert payload["schema"] == "sdvbs-repro/suite-result/v6"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v7"
         assert len(payload["runs"]) == 1
 
     def test_v3_payload_still_readable(self):

@@ -1,0 +1,485 @@
+"""Tests for the paced streaming driver and the bounded histogram.
+
+Covers the pacer math on a fake clock (absolute schedule, no drift,
+overrun accounting), bucket-percentile agreement with numpy, deadline
+misses, multi-stream merge determinism, the schema-v7 export round
+trip, latency regression cells and the `sdvbs stream` CLI.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import LogHistogram, MetricsRegistry
+from repro.core.streaming import (
+    PERCENTILES,
+    STREAMING_SCHEMA,
+    FrameRecord,
+    StreamConfig,
+    StreamingReport,
+    StreamResult,
+    render_stream_report,
+    run_stream,
+    run_streams,
+)
+from repro.core.tracing import CATEGORY_APP, CATEGORY_FRAME, TraceRecorder
+from repro.core.types import InputSize, SuiteResult
+
+
+class FakeClock:
+    """Deterministic monotonic clock whose sleep advances time exactly."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        assert seconds >= 0
+        self.now += seconds
+
+    def frame_fn(self, durations):
+        """A frame executor that burns a scripted duration per frame."""
+
+        def frame(index, profiler):
+            self.now += durations[index % len(durations)]
+
+        return frame
+
+
+def _config(**overrides):
+    defaults = dict(benchmark="disparity", size=InputSize.CIF, fps=10.0,
+                    frames=20, warmup_frames=2, variants=1)
+    defaults.update(overrides)
+    return StreamConfig(**defaults)
+
+
+class TestLogHistogram:
+    def test_exact_percentiles_match_numpy(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(-3.0, 0.6, 400)
+        hist = LogHistogram(raw_limit=1000)
+        for value in values:
+            hist.observe(value)
+        assert hist.exact
+        for q in (50.0, 90.0, 95.0, 99.0, 99.9):
+            assert hist.percentile(q) == pytest.approx(
+                np.percentile(values, q), rel=1e-12)
+
+    def test_bucketed_percentiles_within_bucket_resolution(self):
+        rng = np.random.default_rng(11)
+        values = rng.lognormal(-3.0, 0.6, 5000)
+        hist = LogHistogram(raw_limit=100, buckets_per_decade=64)
+        for value in values:
+            hist.observe(value)
+        assert not hist.exact
+        # One bucket spans a factor of 10**(1/64); allow one width.
+        resolution = 10.0 ** (1.0 / 64.0) - 1.0
+        for q in (50.0, 90.0, 95.0, 99.0):
+            expected = np.percentile(values, q)
+            assert hist.percentile(q) == pytest.approx(
+                expected, rel=2.0 * resolution)
+
+    def test_memory_stays_bounded_but_aggregates_are_exact(self):
+        hist = LogHistogram(raw_limit=64)
+        values = [0.001 * (1 + i % 97) for i in range(10_000)]
+        for value in values:
+            hist.observe(value)
+        assert len(hist.raw_samples()) == 64
+        assert hist.count == 10_000
+        assert hist.total == pytest.approx(sum(values))
+        assert hist.min == pytest.approx(min(values))
+        assert hist.max == pytest.approx(max(values))
+
+    def test_merge_is_order_independent(self):
+        rng = np.random.default_rng(3)
+        chunks = [rng.lognormal(-3.0, 0.5, 700) for _ in range(3)]
+        parts = []
+        for chunk in chunks:
+            hist = LogHistogram()
+            for value in chunk:
+                hist.observe(value)
+            parts.append(hist)
+        forward = LogHistogram()
+        for part in parts:
+            forward.merge(part)
+        backward = LogHistogram()
+        for part in reversed(parts):
+            backward.merge(part)
+        left, right = forward.summary(), backward.summary()
+        assert set(left) == set(right)
+        for key in left:
+            # count/min/max/percentiles are bit-identical; sum-derived
+            # fields only up to float addition order.
+            assert left[key] == pytest.approx(right[key], rel=1e-12)
+        assert forward.count == sum(len(c) for c in chunks)
+
+    def test_merge_rejects_different_layouts(self):
+        with pytest.raises(ValueError):
+            LogHistogram(buckets_per_decade=64).merge(
+                LogHistogram(buckets_per_decade=32))
+
+    def test_summary_carries_all_reported_percentiles(self):
+        hist = LogHistogram()
+        hist.observe(0.010)
+        summary = hist.summary()
+        for q in PERCENTILES:
+            assert f"p{q:g}" in summary
+
+
+class TestRegistryHistograms:
+    def test_observe_is_bounded_for_long_streams(self):
+        registry = MetricsRegistry()
+        for i in range(5000):
+            registry.observe("frame_seconds", 0.001 * (1 + i % 13))
+        hist = registry.log_histogram("frame_seconds")
+        assert hist is not None
+        assert hist.count == 5000
+        assert len(registry.histogram("frame_seconds")) == hist.raw_limit
+        summary = registry.to_dict()["histograms"]["frame_seconds"]
+        assert summary["count"] == 5000
+
+    def test_short_histogram_api_unchanged(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.observe("lat", value)
+        assert registry.histogram("lat") == [1.0, 2.0, 3.0]
+        assert registry.to_dict()["histograms"]["lat"] == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+
+class TestPacer:
+    def test_absolute_schedule_has_no_drift_over_1000_frames(self):
+        clock = FakeClock()
+        config = _config(frames=1000, warmup_frames=0, fps=10.0)
+        # Frames take 20 ms against a 100 ms period: always on time.
+        result = run_stream(config, clock=clock, sleep=clock.sleep,
+                            frame_fn=clock.frame_fn([0.020]))
+        for record in result.frames:
+            assert record.start == pytest.approx(record.scheduled,
+                                                 abs=1e-9)
+        last = result.frames[-1]
+        assert last.scheduled == pytest.approx(999 * 0.1)
+        assert result.overruns() == 0
+        assert result.jitter_seconds() == pytest.approx(0.0, abs=1e-9)
+        assert result.sustained_fps() == pytest.approx(10.0, rel=1e-3)
+
+    def test_overruns_are_accounted_and_schedule_recovers(self):
+        clock = FakeClock()
+        config = _config(frames=30, warmup_frames=0, fps=10.0)
+        # Every 10th frame burns 250 ms (2.5 periods); the next two
+        # frames are released late, then the pacer is back on schedule.
+        durations = [0.250 if i % 10 == 0 else 0.020 for i in range(30)]
+        result = run_stream(
+            config, clock=clock, sleep=clock.sleep,
+            frame_fn=lambda i, p: clock.sleep(durations[i]))
+        assert result.overruns() == 6  # 3 slow frames x 2 pushed frames
+        late = [f for f in result.frames if f.overran]
+        assert all(f.lateness > 0 for f in late)
+        # Recovery: the frame after each overrun pair is on time again.
+        for slow_index in (0, 10, 20):
+            recovered = result.frames[slow_index + 3]
+            assert recovered.start == pytest.approx(recovered.scheduled)
+
+    def test_warmup_frames_are_excluded_from_stats(self):
+        clock = FakeClock()
+        config = _config(frames=10, warmup_frames=3, fps=10.0)
+        # Warm-up frames are pathologically slow; steady frames fast.
+        result = run_stream(
+            config, clock=clock, sleep=clock.sleep,
+            frame_fn=lambda i, p: clock.sleep(0.500 if i < 3 else 0.010))
+        assert len(result.frames) == 13
+        assert len(result.steady_frames()) == 10
+        assert result.histogram.count == 10
+        assert result.histogram.max == pytest.approx(0.010)
+
+    def test_deadline_misses_counted_against_budget(self):
+        clock = FakeClock()
+        config = _config(frames=20, warmup_frames=0, fps=10.0,
+                         deadline_ms=50.0)
+        # Alternate 10 ms / 100 ms frames: every second frame misses.
+        result = run_stream(
+            config, clock=clock, sleep=clock.sleep,
+            frame_fn=lambda i, p: clock.sleep(0.010 if i % 2 else 0.100))
+        assert result.deadline_misses() == 10
+        payload = result.to_dict()
+        assert payload["deadline"] == {
+            "budget_ms": 50.0, "misses": 10, "frames": 20,
+            "miss_rate": 0.5,
+        }
+
+    def test_zero_deadline_misses_every_frame(self):
+        clock = FakeClock()
+        config = _config(frames=5, warmup_frames=0, deadline_ms=0.0)
+        result = run_stream(config, clock=clock, sleep=clock.sleep,
+                            frame_fn=clock.frame_fn([0.005]))
+        assert result.deadline_misses() == 5
+
+    def test_frame_spans_show_pacing_gaps(self):
+        clock = FakeClock()
+        recorder = TraceRecorder()
+        config = _config(frames=4, warmup_frames=1, fps=10.0)
+        run_stream(config, clock=clock, sleep=clock.sleep,
+                   frame_fn=clock.frame_fn([0.020]), recorder=recorder)
+        frame_spans = [s for s in recorder.spans
+                       if s.category == CATEGORY_FRAME]
+        app_spans = [s for s in recorder.spans
+                     if s.category == CATEGORY_APP]
+        assert len(frame_spans) == 5
+        assert len(app_spans) == 5
+        # Frames take 20 ms of the 100 ms period: consecutive frame
+        # spans are separated by an 80 ms pacing gap.
+        ordered = sorted(frame_spans, key=lambda s: s.start)
+        for left, right in zip(ordered, ordered[1:]):
+            gap = right.start - (left.start + left.duration)
+            assert gap == pytest.approx(0.080, abs=1e-9)
+        assert all(s.attrs.get("phase") in ("warmup", "steady")
+                   for s in frame_spans)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            _config(fps=0.0)
+        with pytest.raises(ValueError):
+            _config(frames=0)
+        with pytest.raises(ValueError):
+            _config(streams=0)
+        with pytest.raises(ValueError):
+            _config(deadline_ms=-1.0)
+        with pytest.raises(ValueError):
+            _config(variants=6)
+        # A zero deadline is legal (the 100%-miss CI probe uses it).
+        assert _config(deadline_ms=0.0).budget_ms == 0.0
+        # Default budget is the frame period.
+        assert _config(fps=20.0).budget_ms == pytest.approx(50.0)
+
+
+def _synthetic_stream(stream, latencies, config):
+    """Build a StreamResult as if `latencies` were measured."""
+    result = StreamResult(stream=stream, config=config)
+    period = config.period
+    now = 0.0
+    for index, latency in enumerate(latencies):
+        start = max(now, index * period)
+        result.frames.append(FrameRecord(
+            index=index, scheduled=index * period, start=start,
+            end=start + latency))
+        result.histogram.observe(latency)
+        now = start + latency
+    return result
+
+
+class TestMultiStream:
+    def test_merged_percentiles_are_order_independent(self):
+        config = _config(frames=100, warmup_frames=0, streams=2)
+        rng = np.random.default_rng(5)
+        streams = [
+            _synthetic_stream(i, rng.lognormal(-3.5, 0.4, 100), config)
+            for i in range(3)
+        ]
+        forward = StreamingReport(config=config, streams=list(streams))
+        backward = StreamingReport(config=config,
+                                   streams=list(reversed(streams)))
+        assert forward.to_dict() == backward.to_dict()
+
+    def test_merged_block_aggregates_streams(self):
+        config = _config(frames=4, warmup_frames=0, fps=10.0,
+                         deadline_ms=50.0, streams=2)
+        fast = _synthetic_stream(0, [0.010] * 4, config)
+        slow = _synthetic_stream(1, [0.100] * 4, config)
+        report = StreamingReport(config=config, streams=[fast, slow])
+        merged = report.to_dict()["merged"]
+        assert merged["frames"] == 8
+        assert merged["deadline"]["misses"] == 4
+        assert merged["deadline"]["miss_rate"] == pytest.approx(0.5)
+        assert merged["latency_ms"]["count"] == 8
+        assert merged["sustained_fps"] == pytest.approx(
+            fast.sustained_fps() + slow.sustained_fps())
+
+    def test_threaded_streams_produce_per_stream_results(self):
+        # Real threads, synthetic frames: wall-clock sleeps are tiny.
+        config = _config(benchmark="disparity", size=InputSize.SQCIF,
+                         fps=200.0, frames=5, warmup_frames=1, streams=3)
+        recorder = TraceRecorder()
+        report = run_streams(config, frame_fn=lambda i, p: None,
+                             recorder=recorder)
+        assert sorted(s.stream for s in report.streams) == [0, 1, 2]
+        assert all(len(s.steady_frames()) == 5 for s in report.streams)
+        payload = report.to_dict()
+        assert payload["schema"] == STREAMING_SCHEMA
+        assert len(payload["streams"]) == 3
+        # Absorbed frame spans land on one track per stream.
+        tracks = {s.track for s in recorder.spans}
+        assert tracks == {0, 1, 2}
+
+    def test_render_report_table(self):
+        config = _config(frames=4, warmup_frames=0, streams=2)
+        streams = [_synthetic_stream(i, [0.010] * 4, config)
+                   for i in range(2)]
+        text = render_stream_report(
+            StreamingReport(config=config, streams=streams))
+        assert "p99.9" in text
+        assert "merged" in text
+        assert "disparity @ CIF" in text
+
+
+class TestExportRoundTrip:
+    def test_streaming_block_round_trips_at_v7(self):
+        from repro.core.export import result_from_json, result_to_json
+
+        config = _config(frames=4, warmup_frames=0)
+        report = StreamingReport(
+            config=config,
+            streams=[_synthetic_stream(0, [0.010] * 4, config)])
+        result = SuiteResult()
+        result.streaming = report.to_dict()
+        text = result_to_json(result)
+        payload = json.loads(text)
+        assert payload["schema"] == "sdvbs-repro/suite-result/v7"
+        restored = result_from_json(text)
+        assert restored.streaming == report.to_dict()
+
+    def test_v6_exports_without_streaming_still_read(self):
+        from repro.core.export import result_from_dict
+
+        payload = {"schema": "sdvbs-repro/suite-result/v6", "runs": []}
+        restored = result_from_dict(payload)
+        assert restored.streaming is None
+
+
+class TestLatencyRegression:
+    def _result_with_percentiles(self, p50, p95, p99, spread=0.05):
+        """A restored export whose two streams straddle the merged
+        percentiles by ±spread (ms), giving a real noise estimate."""
+        config = _config(streams=2)
+        result = SuiteResult()
+        streams = []
+        for i, sign in enumerate((-1.0, 1.0)):
+            streams.append({
+                "stream": i,
+                "latency_ms": {
+                    "count": 50,
+                    "p50": p50 + sign * spread,
+                    "p95": p95 + sign * spread,
+                    "p99": p99 + sign * spread,
+                    "stddev": 1.0,
+                },
+            })
+        result.streaming = {
+            "schema": STREAMING_SCHEMA,
+            "config": config.to_dict(),
+            "streams": streams,
+            "merged": {
+                "latency_ms": {"count": 100, "p50": p50, "p95": p95,
+                               "p99": p99, "stddev": 1.0},
+            },
+        }
+        return result
+
+    def test_cells_keyed_by_benchmark_and_metric(self):
+        from repro.core.regress import latency_cells_from_result
+
+        cells = latency_cells_from_result(
+            self._result_with_percentiles(20.0, 30.0, 40.0))
+        assert set(cells) == {("disparity[p50]", "CIF"),
+                              ("disparity[p95]", "CIF"),
+                              ("disparity[p99]", "CIF")}
+        median, noise = cells[("disparity[p99]", "CIF")]
+        assert median == pytest.approx(0.040)
+        assert noise is not None and noise > 0
+
+    def test_batch_export_yields_no_latency_cells(self):
+        from repro.core.regress import latency_cells_from_result
+
+        assert latency_cells_from_result(SuiteResult()) == {}
+
+    def test_p99_blowup_flagged_while_median_passes(self):
+        from repro.core.regress import (
+            detect_regressions,
+            latency_cells_from_result,
+        )
+
+        baseline = latency_cells_from_result(
+            self._result_with_percentiles(20.0, 30.0, 40.0))
+        # Candidate: identical p50, 3x p99 — a pure tail regression.
+        candidate = latency_cells_from_result(
+            self._result_with_percentiles(20.0, 33.0, 120.0))
+        report = detect_regressions(baseline, candidate, sigmas=2.0,
+                                    min_slowdown=0.10)
+        status = {entry.benchmark: entry.status
+                  for entry in report.entries}
+        assert status["disparity[p99]"] == "regression"
+        assert status["disparity[p50]"] in ("ok", "within noise")
+        assert report.exit_code == 1
+
+    def test_unchanged_percentiles_pass(self):
+        from repro.core.regress import (
+            detect_regressions,
+            latency_cells_from_result,
+        )
+
+        cells = latency_cells_from_result(
+            self._result_with_percentiles(20.0, 30.0, 40.0))
+        report = detect_regressions(cells, dict(cells))
+        assert report.exit_code == 0
+
+
+class TestCliStream:
+    def test_stream_export_and_report(self, tmp_path):
+        from repro.cli import main as cli_main
+        from repro.core.htmlreport import SECTION_IDS
+
+        export = tmp_path / "stream.json"
+        out = tmp_path / "report.html"
+        assert cli_main(["stream", "disparity", "--size", "sqcif",
+                         "--fps", "60", "--frames", "6", "--streams", "2",
+                         "--warmup-frames", "1", "--variants", "1",
+                         "--json", str(export)]) == 0
+        payload = json.loads(export.read_text())
+        assert payload["schema"] == "sdvbs-repro/suite-result/v7"
+        block = payload["streaming"]
+        assert block["schema"] == STREAMING_SCHEMA
+        assert len(block["streams"]) == 2
+        for entry in block["streams"] + [block["merged"]]:
+            for q in ("p50", "p90", "p95", "p99", "p99.9"):
+                assert entry["latency_ms"][q] > 0
+        assert block["merged"]["deadline"]["frames"] == 12
+        assert "histogram_ms" in block["merged"]
+        assert payload["manifest"] is not None
+        # The HTML report renders the latency section from the export.
+        assert cli_main(["report", "--from", str(export),
+                         "--out", str(out)]) == 0
+        html = out.read_text()
+        for section_id in SECTION_IDS:
+            assert f'id="{section_id}"' in html
+        assert "Streaming latency distribution" in html
+
+    def test_slo_gate_fails_on_forced_misses(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["stream", "disparity", "--size", "sqcif",
+                         "--fps", "60", "--frames", "3",
+                         "--warmup-frames", "0", "--variants", "1",
+                         "--deadline-ms", "0", "--slo-gate",
+                         "--json", str(tmp_path / "s.json")]) == 1
+        captured = capsys.readouterr()
+        assert "SLO gate failed" in captured.err
+        assert "100.0%" in captured.err
+
+    def test_slo_gate_passes_with_generous_deadline(self, tmp_path):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["stream", "disparity", "--size", "sqcif",
+                         "--fps", "60", "--frames", "3",
+                         "--warmup-frames", "0", "--variants", "1",
+                         "--deadline-ms", "60000", "--slo-gate",
+                         "--json", str(tmp_path / "s.json")]) == 0
+
+    def test_rejects_unknown_benchmark(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["stream", "nonesuch",
+                         "--json", str(tmp_path / "s.json")]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

@@ -18,8 +18,14 @@ class TestInputSize:
         assert InputSize.QCIF.shape == (144, 176)
         assert InputSize.CIF.shape == (288, 352)
 
+    def test_vga_extends_the_scale(self):
+        # VGA is the streaming extension beyond the paper's trio: 25x
+        # the pixels of SQCIF, consistent with the relative labels.
+        assert InputSize.VGA.shape == (480, 640)
+        assert InputSize.VGA.pixels // InputSize.SQCIF.pixels == 25
+
     def test_relative_labels(self):
-        assert [s.relative for s in InputSize] == [1, 2, 4]
+        assert [s.relative for s in InputSize] == [1, 2, 4, 25]
 
     def test_pixel_doubling(self):
         # "QCIF is roughly 2x larger than SQCIF, and CIF is roughly 2x
