@@ -44,6 +44,10 @@ Subcommands::
                                     # result (idempotent history ingest
                                     # with --db)
     sdvbs shard status plan         # per-shard completed/missing cells
+    sdvbs serve --port 8642         # benchmark-as-a-service: JSON-RPC
+                                    # job server with a bounded worker
+                                    # pool, admission control and a
+                                    # result cache (see SERVING.md)
 
 ``run``/``figure2``/``figure3`` accept the robust-measurement knobs
 ``--repeats N`` (retained runs per cell, aggregated into
@@ -102,6 +106,49 @@ def _size_arg(name: str) -> InputSize:
         ) from None
 
 
+def _int_arg(name: str, minimum: int):
+    """An integer argparse type with a floor and a clean exit-2 error.
+
+    ``sdvbs stream --frames 0`` and friends used to slip through
+    argparse and surface later as a raw traceback (or a silent clamp);
+    validating at parse time keeps every non-positive numeric argument
+    on the same clean path as an unknown size.
+    """
+
+    def convert(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid {name}: {text!r} is not an integer") from None
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"invalid {name}: must be >= {minimum}, got {value}")
+        return value
+
+    return convert
+
+
+def _float_arg(name: str, minimum: float, exclusive: bool = False):
+    """A float argparse type with a floor and a clean exit-2 error."""
+
+    def convert(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid {name}: {text!r} is not a number") from None
+        if exclusive and value <= minimum:
+            raise argparse.ArgumentTypeError(
+                f"invalid {name}: must be > {minimum:g}, got {value:g}")
+        if not exclusive and value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"invalid {name}: must be >= {minimum:g}, got {value:g}")
+        return value
+
+    return convert
+
+
 def _parse_sizes(names: Optional[List[InputSize]]) -> List[InputSize]:
     """Default to the paper's trio; larger sizes (VGA) are opt-in."""
     if not names:
@@ -113,13 +160,16 @@ def _parse_sizes(names: Optional[List[InputSize]]) -> List[InputSize]:
 
 def _add_measurement_flags(parser: argparse.ArgumentParser) -> None:
     """The robust-runner knobs shared by run/figure2/figure3."""
-    parser.add_argument("--repeats", type=int, default=1, metavar="N",
+    parser.add_argument("--repeats", type=_int_arg("--repeats", 1),
+                        default=1, metavar="N",
                         help="measured runs per (benchmark, size, variant) "
                         "cell; results report min/median/mean/stddev "
                         "(default: 1)")
-    parser.add_argument("--warmup", type=int, default=0, metavar="N",
+    parser.add_argument("--warmup", type=_int_arg("--warmup", 0),
+                        default=0, metavar="N",
                         help="discarded warmup runs per cell (default: 0)")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+    parser.add_argument("--jobs", type=_int_arg("--jobs", 1),
+                        default=1, metavar="N",
                         help="worker processes for the benchmark grid; 1 "
                         "runs serially (default: 1)")
     parser.add_argument("--events", metavar="PATH", default=None,
@@ -176,14 +226,17 @@ def _run_trace(args: argparse.Namespace, cli_argv: List[str]) -> int:
 
 def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
     """Knobs shared by the sampling subcommands (flame/xcheck/report)."""
-    parser.add_argument("--interval", type=float, default=0.0002,
-                        metavar="SEC",
+    parser.add_argument("--interval",
+                        type=_float_arg("--interval", 0.0, exclusive=True),
+                        default=0.0002, metavar="SEC",
                         help="target seconds between stack samples "
                         "(default: 0.0002)")
-    parser.add_argument("--repeats", type=int, default=10, metavar="N",
+    parser.add_argument("--repeats", type=_int_arg("--repeats", 1),
+                        default=10, metavar="N",
                         help="measured runs per cell — more repeats mean "
                         "more samples (default: 10)")
-    parser.add_argument("--warmup", type=int, default=2, metavar="N",
+    parser.add_argument("--warmup", type=_int_arg("--warmup", 0),
+                        default=2, metavar="N",
                         help="discarded warmup runs, not sampled "
                         "(default: 2)")
 
@@ -563,7 +616,7 @@ def _run_stream(args: argparse.Namespace, cli_argv: List[str]) -> int:
 
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result_to_json(result))
-        print(f"wrote streaming export (schema v7) to {args.json}")
+        print(f"wrote streaming export (schema v8) to {args.json}")
     if args.trace and recorder is not None:
         with open(args.trace, "w", encoding="utf-8") as handle:
             handle.write(chrome_trace_json(recorder.spans, result.manifest))
@@ -736,6 +789,51 @@ def _run_shard(args: argparse.Namespace, cli_argv: List[str]) -> int:
     return _run_shard_status(args)
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``sdvbs serve``: the benchmark-as-a-service JSON-RPC job server."""
+    from .core.serve import make_server
+
+    low, high = (args.watermarks if args.watermarks
+                 else (None, None))
+    try:
+        server = make_server(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            low_watermark=low,
+            high_watermark=high,
+            rate_limit=args.rate_limit,
+            rate_burst=args.burst,
+            history_db=args.db,
+            work_dir=args.work_dir,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"sdvbs serve: {exc}", file=sys.stderr)
+        return 2
+    manager = server.manager
+    host, port = server.address
+    print(f"sdvbs serve: listening on http://{host}:{port} "
+          f"({manager.workers} worker(s), queue {manager.max_queue}, "
+          f"watermarks {manager.low_watermark}/{manager.high_watermark}"
+          + (f", rate limit {manager.rate_limit:g}/s" if manager.rate_limit
+             else "")
+          + (f", history {manager.history_db}" if manager.history_db
+             else ""))
+    print(f"artifacts under {manager.work_dir}; POST JSON-RPC 2.0 to / "
+          "(methods and error codes in SERVING.md); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+        # serve_forever returns when a client called server.shutdown;
+        # drain the workers before exiting so no running job is cut off.
+        manager.stop()
+        print("sdvbs serve: stopped (server.shutdown)")
+    except KeyboardInterrupt:
+        print("\nsdvbs serve: shutting down (running jobs drain)...")
+        server.stop()
+    return 0
+
+
 def _run_verify_backends(args: argparse.Namespace) -> int:
     """``sdvbs verify-backends``: ref/fast agreement on seeded inputs."""
     from .core.backend import load_all_kernels
@@ -787,7 +885,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                               metavar="SIZE",
                               help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                               "(default: SQCIF)")
-    trace_parser.add_argument("--variant", type=int, default=0,
+    trace_parser.add_argument("--variant", type=_int_arg("--variant", 0),
+                              default=0,
                               help="input variant (0-4, default: 0)")
     trace_parser.add_argument("--out", default="trace.json", metavar="PATH",
                               help="Chrome trace-event JSON output path "
@@ -798,7 +897,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_parser.add_argument("--memory", action="store_true",
                               help="sample tracemalloc peak allocations "
                               "per span (slows the run)")
-    trace_parser.add_argument("--top", type=int, default=10, metavar="N",
+    trace_parser.add_argument("--top", type=_int_arg("--top", 1),
+                              default=10, metavar="N",
                               help="slowest invocations to print "
                               "(default: 10)")
     _add_backend_flag(trace_parser)
@@ -813,7 +913,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                               default=InputSize.CIF, metavar="SIZE",
                               help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                               "(default: CIF)")
-    flame_parser.add_argument("--variant", type=int, default=0,
+    flame_parser.add_argument("--variant", type=_int_arg("--variant", 0),
+                              default=0,
                               help="input variant (0-4, default: 0)")
     flame_parser.add_argument("--out", default="flame.collapsed",
                               metavar="PATH",
@@ -837,7 +938,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                default=InputSize.CIF, metavar="SIZE",
                                help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                                "(default: CIF)")
-    xcheck_parser.add_argument("--variant", type=int, default=0,
+    xcheck_parser.add_argument("--variant", type=_int_arg("--variant", 0),
+                               default=0,
                                help="input variant (0-4, default: 0)")
     xcheck_parser.add_argument("--tolerance", type=float, default=5.0,
                                metavar="PTS",
@@ -899,8 +1001,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                type=_size_arg,
                                help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                                "(default: the paper trio)")
-    verify_parser.add_argument("--variants", type=int, default=1,
-                               metavar="N",
+    verify_parser.add_argument("--variants", type=_int_arg("--variants", 1),
+                               default=1, metavar="N",
                                help="input variants checked per size, 1-5 "
                                "(default: 1)")
     verify_parser.add_argument("--kernels", nargs="*", metavar="NAME",
@@ -915,7 +1017,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                             "(default: the paper trio; VGA is "
                             "opt-in)")
-    run_parser.add_argument("--variants", type=int, default=1,
+    run_parser.add_argument("--variants", type=_int_arg("--variants", 1),
+                            default=1,
                             help="input variants per size (1-5)")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the raw result as JSON instead of "
@@ -929,7 +1032,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_measurement_flags(run_parser)
 
     fig2_parser = sub.add_parser("figure2", help="execution-time scaling")
-    fig2_parser.add_argument("--variants", type=int, default=1, metavar="N",
+    fig2_parser.add_argument("--variants", type=_int_arg("--variants", 1),
+                             default=1, metavar="N",
                              help="input variants per size, 1-5 "
                              "(default: 1)")
     _add_measurement_flags(fig2_parser)
@@ -937,7 +1041,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     fig3_parser = sub.add_parser("figure3", help="kernel occupancy")
     fig3_parser.add_argument("slugs", nargs="*",
                              help="benchmark slugs (default: all)")
-    fig3_parser.add_argument("--variants", type=int, default=1, metavar="N",
+    fig3_parser.add_argument("--variants", type=_int_arg("--variants", 1),
+                             default=1, metavar="N",
                              help="input variants per size, 1-5 "
                              "(default: 1)")
     _add_measurement_flags(fig3_parser)
@@ -1016,12 +1121,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 help="explicit baseline commit in the "
                                 "history store (default: the most recently "
                                 "recorded other commit)")
-    regress_parser.add_argument("--sigmas", type=float, default=2.0,
-                                metavar="K",
+    regress_parser.add_argument("--sigmas",
+                                type=_float_arg("--sigmas", 0.0),
+                                default=2.0, metavar="K",
                                 help="significance threshold in units of "
                                 "combined recorded stddev (default: 2.0)")
-    regress_parser.add_argument("--min-slowdown", type=float, default=0.10,
-                                metavar="FRAC",
+    regress_parser.add_argument("--min-slowdown",
+                                type=_float_arg("--min-slowdown", 0.0),
+                                default=0.10, metavar="FRAC",
                                 help="minimum relative slowdown to flag, "
                                 "as a fraction (default: 0.10 = 10%%)")
     regress_parser.add_argument("--json-out", default=None, metavar="PATH",
@@ -1041,29 +1148,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                                default=InputSize.CIF, metavar="SIZE",
                                help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                                "(default: CIF)")
-    stream_parser.add_argument("--fps", type=float, default=10.0,
-                               metavar="N",
+    stream_parser.add_argument("--fps",
+                               type=_float_arg("--fps", 0.0, exclusive=True),
+                               default=10.0, metavar="N",
                                help="target frame release rate "
                                "(default: 10)")
-    stream_parser.add_argument("--frames", type=int, default=50,
-                               metavar="N",
+    stream_parser.add_argument("--frames", type=_int_arg("--frames", 1),
+                               default=50, metavar="N",
                                help="measured steady-state frames per "
                                "stream (default: 50)")
-    stream_parser.add_argument("--streams", type=int, default=1,
-                               metavar="N",
+    stream_parser.add_argument("--streams", type=_int_arg("--streams", 1),
+                               default=1, metavar="N",
                                help="concurrent streams on a thread pool "
                                "(default: 1)")
-    stream_parser.add_argument("--deadline-ms", type=float, default=None,
-                               metavar="MS",
+    stream_parser.add_argument("--deadline-ms",
+                               type=_float_arg("--deadline-ms", 0.0),
+                               default=None, metavar="MS",
                                help="per-frame latency budget in "
-                               "milliseconds (default: the frame period "
-                               "1000/fps)")
-    stream_parser.add_argument("--warmup-frames", type=int, default=2,
-                               metavar="N",
+                               "milliseconds; 0 marks every frame a miss "
+                               "(default: the frame period 1000/fps)")
+    stream_parser.add_argument("--warmup-frames",
+                               type=_int_arg("--warmup-frames", 0),
+                               default=2, metavar="N",
                                help="paced frames discarded before the "
                                "steady-state window (default: 2)")
-    stream_parser.add_argument("--variants", type=int, default=2,
-                               metavar="N",
+    stream_parser.add_argument("--variants", type=_int_arg("--variants", 1),
+                               default=2, metavar="N",
                                help="input variants cycled frame-to-frame, "
                                "1-5 (default: 2)")
     stream_parser.add_argument("--json", default="stream.json",
@@ -1077,8 +1187,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     stream_parser.add_argument("--slo-gate", action="store_true",
                                help="exit 1 when the merged deadline-miss "
                                "rate exceeds --max-miss-rate")
-    stream_parser.add_argument("--max-miss-rate", type=float, default=0.0,
-                               metavar="FRAC",
+    stream_parser.add_argument("--max-miss-rate",
+                               type=_float_arg("--max-miss-rate", 0.0),
+                               default=0.0, metavar="FRAC",
                                help="miss-rate budget for --slo-gate, as "
                                "a fraction (default: 0.0 = any miss "
                                "fails)")
@@ -1103,7 +1214,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="SQCIF/QCIF/CIF/VGA, case-insensitive "
                               "(default: the paper trio; VGA is "
                               "opt-in)")
-    splan_parser.add_argument("--variants", type=int, default=1, metavar="N",
+    splan_parser.add_argument("--variants", type=_int_arg("--variants", 1),
+                              default=1, metavar="N",
                               help="input variants per size, 1-5 "
                               "(default: 1)")
     splan_parser.add_argument("--backends", nargs="+",
@@ -1111,13 +1223,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                               metavar="BACKEND",
                               help="kernel backends to cover (ref/fast, "
                               "default: fast)")
-    splan_parser.add_argument("--shards", type=int, default=2, metavar="N",
+    splan_parser.add_argument("--shards", type=_int_arg("--shards", 1),
+                              default=2, metavar="N",
                               help="number of shards to split into "
                               "(default: 2)")
-    splan_parser.add_argument("--warmup", type=int, default=0, metavar="N",
+    splan_parser.add_argument("--warmup", type=_int_arg("--warmup", 0),
+                              default=0, metavar="N",
                               help="discarded warmup runs per cell "
                               "(default: 0)")
-    splan_parser.add_argument("--repeats", type=int, default=1, metavar="N",
+    splan_parser.add_argument("--repeats", type=_int_arg("--repeats", 1),
+                              default=1, metavar="N",
                               help="measured runs per cell (default: 1)")
     splan_parser.add_argument("--out-dir", default="plan", metavar="DIR",
                               help="directory for shard-NNN.json specs "
@@ -1162,6 +1277,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 help="shard spec files or plan "
                                 "directories")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="benchmark-as-a-service: a long-running JSON-RPC job server "
+        "executing run/trace/flame/report/regress specs on a bounded "
+        "worker pool with admission control and a result cache "
+        "(operator's manual: SERVING.md)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                              help="bind address; the default stays on "
+                              "localhost because the server has no "
+                              "authentication (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=_int_arg("--port", 0),
+                              default=8642, metavar="N",
+                              help="TCP port; 0 binds an ephemeral port "
+                              "(default: 8642)")
+    serve_parser.add_argument("--workers", type=_int_arg("--workers", 1),
+                              default=2, metavar="N",
+                              help="concurrent job executor threads "
+                              "(default: 2)")
+    serve_parser.add_argument("--max-queue",
+                              type=_int_arg("--max-queue", 1),
+                              default=16, metavar="N",
+                              help="hard cap on queued jobs; beyond it "
+                              "submissions are rejected with a typed "
+                              "queue-full error (default: 16)")
+    serve_parser.add_argument("--watermarks", nargs=2,
+                              type=_int_arg("--watermarks", 1),
+                              default=None, metavar=("LOW", "HIGH"),
+                              help="backpressure hysteresis: at HIGH "
+                              "queued jobs only high-priority submissions "
+                              "are admitted until the backlog drains to "
+                              "LOW (default: max-queue/2 and max-queue)")
+    serve_parser.add_argument("--rate-limit",
+                              type=_float_arg("--rate-limit", 0.0),
+                              default=0.0, metavar="N",
+                              help="per-client submissions per second via "
+                              "a token bucket; 0 disables (default: 0)")
+    serve_parser.add_argument("--burst", type=_int_arg("--burst", 1),
+                              default=None, metavar="N",
+                              help="token-bucket burst capacity "
+                              "(default: max(1, rate-limit))")
+    serve_parser.add_argument("--db", default=None, metavar="PATH",
+                              help="record completed run jobs into this "
+                              "history store (idempotent per spec digest; "
+                              "default: no history)")
+    serve_parser.add_argument("--work-dir", default=None, metavar="DIR",
+                              help="artifact directory, one subdirectory "
+                              "per job (default: a fresh temp dir)")
+
     args = parser.parse_args(argv)
     cli_argv = list(argv) if argv is not None else list(sys.argv[1:])
 
@@ -1201,6 +1365,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_stream(args, cli_argv)
     if args.command == "shard":
         return _run_shard(args, cli_argv)
+    if args.command == "serve":
+        return _run_serve(args)
 
     from .core.profiler import measure_probe_overhead
 

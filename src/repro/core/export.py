@@ -38,12 +38,23 @@ Schema history:
   ``merged_from`` record of a merged one.  Unsharded exports carry no
   ``shard`` key and are otherwise identical to v5.  v1-v5 payloads
   remain readable.
-* ``sdvbs-repro/suite-result/v7`` (current) — optional top-level
-  ``streaming`` block (:mod:`repro.core.streaming`): the pacer config
-  plus per-stream and merged frame-latency percentiles, jitter,
-  sustained FPS and deadline-miss accounting of a paced streaming run.
-  Batch exports carry no ``streaming`` key and are otherwise identical
-  to v6.  v1-v6 payloads remain readable.
+* ``sdvbs-repro/suite-result/v7`` — optional top-level ``streaming``
+  block (:mod:`repro.core.streaming`): the pacer config plus
+  per-stream and merged frame-latency percentiles, jitter, sustained
+  FPS and deadline-miss accounting of a paced streaming run.  Batch
+  exports carry no ``streaming`` key and are otherwise identical to
+  v6.  v1-v6 payloads remain readable.
+* ``sdvbs-repro/suite-result/v8`` (current) — optional top-level
+  ``job`` provenance block (:mod:`repro.core.jobs`): the serve-layer
+  job id, canonical spec digest, submitting client and priority when
+  the export was produced by a ``sdvbs serve`` job.  Kept out of the
+  manifest on purpose — the history layer's manifest hash must depend
+  only on the measurement configuration so identical served specs stay
+  idempotent.  CLI exports carry no ``job`` key and are otherwise
+  identical to v7.  v1-v7 payloads remain readable.
+
+DESIGN.md's "Schema evolution" appendix carries the same history as a
+single table with reader guarantees.
 """
 
 from __future__ import annotations
@@ -61,11 +72,12 @@ SCHEMA_V4 = "sdvbs-repro/suite-result/v4"
 SCHEMA_V5 = "sdvbs-repro/suite-result/v5"
 SCHEMA_V6 = "sdvbs-repro/suite-result/v6"
 SCHEMA_V7 = "sdvbs-repro/suite-result/v7"
+SCHEMA_V8 = "sdvbs-repro/suite-result/v8"
 #: Schema written by :func:`result_to_dict`.
-CURRENT_SCHEMA = SCHEMA_V7
+CURRENT_SCHEMA = SCHEMA_V8
 #: Schemas :func:`result_from_dict` accepts.
 READABLE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_V5,
-                    SCHEMA_V6, SCHEMA_V7)
+                    SCHEMA_V6, SCHEMA_V7, SCHEMA_V8)
 
 
 def _stats_to_dict(stats: AggregatedRun) -> Dict[str, object]:
@@ -135,6 +147,8 @@ def result_to_dict(result: SuiteResult,
         payload["shard"] = dict(result.shard)
     if result.streaming is not None:
         payload["streaming"] = dict(result.streaming)
+    if result.job is not None:
+        payload["job"] = dict(result.job)
     return payload
 
 
@@ -175,14 +189,15 @@ def run_from_dict(entry: Dict[str, object]) -> BenchmarkRun:
 def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     """Rebuild a :class:`SuiteResult` from :func:`result_to_dict` output.
 
-    Accepts the current v7 schema and legacy v1-v6 payloads (v1 runs
+    Accepts the current v8 schema and legacy v1-v7 payloads (v1 runs
     carry no repeat statistics; v1/v2 results carry no manifest; v1-v3
     runs carry no metrics; v1-v4 runs carry no sampling profile; v1-v5
     results carry no shard block; v1-v6 results carry no streaming
-    block).  ``outputs`` are not round-tripped (they were stringified);
-    everything the reports need — timings, attribution, measurement
-    statistics, work-accounting metrics, shard provenance, streaming
-    latency and the manifest — is restored exactly.
+    block; v1-v7 results carry no job block).  ``outputs`` are not
+    round-tripped (they were stringified); everything the reports need
+    — timings, attribution, measurement statistics, work-accounting
+    metrics, shard provenance, streaming latency, job provenance and
+    the manifest — is restored exactly.
     """
     schema = payload.get("schema")
     if schema not in READABLE_SCHEMAS:
@@ -197,6 +212,9 @@ def result_from_dict(payload: Dict[str, object]) -> SuiteResult:
     streaming = payload.get("streaming")
     if streaming is not None:
         result.streaming = dict(streaming)  # type: ignore[arg-type]
+    job = payload.get("job")
+    if job is not None:
+        result.job = dict(job)  # type: ignore[arg-type]
     runs: List[Dict[str, object]] = payload["runs"]  # type: ignore[assignment]
     for entry in runs:
         result.runs.append(run_from_dict(entry))

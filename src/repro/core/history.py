@@ -260,8 +260,15 @@ class HistoryStore:
     def entries(self, commit: Optional[str] = None,
                 benchmark: Optional[str] = None,
                 size: Optional[str] = None,
-                backend: Optional[str] = None) -> List[HistoryEntry]:
-        """Stored entries in insertion order, optionally filtered."""
+                backend: Optional[str] = None,
+                manifest_hash: Optional[str] = None) -> List[HistoryEntry]:
+        """Stored entries in insertion order, optionally filtered.
+
+        ``manifest_hash`` selects every cell recorded under one exact
+        measurement configuration (host, software, warmup/repeats,
+        backend) regardless of when it ran — the serve layer's result
+        cache uses it to report how much history a job spec already has.
+        """
         out = []
         for entry in self._iter_entries():
             if commit is not None and entry.commit != commit:
@@ -271,6 +278,9 @@ class HistoryStore:
             if size is not None and entry.size != size:
                 continue
             if backend is not None and entry.backend != backend:
+                continue
+            if manifest_hash is not None and \
+                    entry.manifest_hash != manifest_hash:
                 continue
             out.append(entry)
         return out

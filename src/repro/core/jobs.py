@@ -1,0 +1,1054 @@
+"""Job layer of the benchmark service: specs, admission control, workers.
+
+``sdvbs serve`` (:mod:`repro.core.serve`) turns the local CLI stack into
+a long-running system; this module is the part that survives heavy
+traffic.  It validates job *specs* (JSON descriptions of run / trace /
+flame / report / regress work) against the same registry, size and
+backend machinery the CLI uses, admits them through production-style
+backpressure, and executes them on a bounded worker pool:
+
+* **Priority queue** — each submission carries ``high`` / ``normal`` /
+  ``low`` priority; workers always pick the highest-priority oldest
+  queued job.
+* **Watermark admission control** — the queue has a hard cap
+  (``max_queue``) plus a low/high watermark pair with hysteresis: once
+  the queued depth reaches the high watermark the server turns
+  *saturated* and admits only high-priority work until the depth drains
+  to the low watermark.  Rejections are typed
+  (:class:`QueueFullError`) and carry a ``retry_after_s`` hint derived
+  from the observed mean job duration.
+* **Eviction** — at the hard cap a high-priority submission may evict
+  the youngest queued job of strictly lower priority (state
+  ``evicted``) instead of being turned away; nothing ever evicts a
+  running job.
+* **Per-client rate limiting** — a token bucket per client id
+  (:class:`TokenBucket`); violations are typed
+  (:class:`RateLimitedError`) with the exact ``retry_after_s`` until
+  the next token.
+* **Result cache** — every spec is canonicalized (defaults filled,
+  names normalized) and hashed with the shard planner's
+  plan-digest discipline (:func:`spec_digest`).  Submitting a spec
+  whose digest already maps to a completed job returns that job
+  immediately — no re-execution — and bumps the ``cache_hits``
+  counter surfaced by ``server.info``.
+
+Completed run jobs land in the persistent history store
+(:mod:`repro.core.history`) with a canonical ``["serve", "job",
+<digest>]`` manifest argv, so re-recording an identical spec is
+idempotent, and the store's manifest-hash lookup reports how many runs
+of this exact configuration history already holds.  Artifacts (suite
+exports, chrome traces, flamegraphs, HTML reports, regression verdicts)
+are written under ``work_dir/<job id>/`` and streamed back over HTTP by
+job id.
+
+Everything here is framework-free stdlib threading; the HTTP/JSON-RPC
+envelope lives in :mod:`repro.core.serve` and the operator's manual in
+``SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+#: Version stamp for job payloads and the ``job`` export block.
+JOBS_SCHEMA = "sdvbs-repro/serve-job/v1"
+
+#: The job types the service accepts (each has an executor below).
+JOB_TYPES = ("run", "trace", "flame", "report", "regress")
+
+#: Valid priorities, best first; rank = index (lower runs earlier).
+PRIORITIES = ("high", "normal", "low")
+
+# Job lifecycle states (see the diagram in SERVING.md):
+#   queued -> running -> done | failed
+#   queued -> cancelled (job.cancel) | evicted (admission control)
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+EVICTED = "evicted"
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, EVICTED)
+
+
+# ----------------------------------------------------------------------
+# Typed admission errors (mapped onto JSON-RPC error codes in serve.py)
+
+
+class JobError(Exception):
+    """Base of every typed job-layer error; carries structured data."""
+
+    def __init__(self, message: str, **data: object) -> None:
+        super().__init__(message)
+        self.message = message
+        self.data: Dict[str, object] = dict(data)
+
+
+class SpecError(JobError):
+    """The job spec failed validation (unknown type/slug/size/...)."""
+
+
+class QueueFullError(JobError):
+    """Admission refused: hard queue cap or watermark backpressure."""
+
+
+class RateLimitedError(JobError):
+    """Admission refused: the client exceeded its token bucket."""
+
+
+class UnknownJobError(JobError):
+    """No job with the requested id."""
+
+
+class JobNotDoneError(JobError):
+    """The job exists but has not produced a result (yet, or ever)."""
+
+
+class NotCancellableError(JobError):
+    """Only queued jobs can be cancelled."""
+
+
+# ----------------------------------------------------------------------
+# Spec validation and canonical digests
+
+
+def _require(condition: bool, message: str, **data: object) -> None:
+    if not condition:
+        raise SpecError(message, **data)
+
+
+def _norm_size(name: object) -> str:
+    from .types import InputSize
+
+    _require(isinstance(name, str), f"size must be a string, got {name!r}")
+    try:
+        return InputSize[str(name).upper()].name
+    except KeyError:
+        choices = ", ".join(s.name for s in InputSize)
+        raise SpecError(
+            f"unknown size {name!r} (choose from {choices})",
+            field="sizes") from None
+
+
+def _norm_slug(slug: object) -> str:
+    from .registry import get_benchmark
+
+    _require(isinstance(slug, str),
+             f"benchmark must be a string, got {slug!r}")
+    try:
+        return get_benchmark(str(slug)).slug
+    except KeyError as exc:
+        raise SpecError(str(exc.args[0]), field="benchmarks") from None
+
+
+def _norm_backend(backend: object) -> Optional[str]:
+    if backend is None:
+        return None
+    from .backend import BACKENDS
+
+    if backend not in BACKENDS:
+        known = ", ".join(sorted(BACKENDS))
+        raise SpecError(f"unknown backend {backend!r}; known: {known}",
+                        field="backend")
+    return str(backend)
+
+
+def _norm_int(spec: Dict[str, object], key: str, default: int,
+              minimum: int, maximum: Optional[int] = None) -> int:
+    value = spec.get(key, default)
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"{key} must be an integer, got {value!r}", field=key)
+    value = int(value)  # type: ignore[arg-type]
+    _require(value >= minimum, f"{key} must be >= {minimum}, got {value}",
+             field=key)
+    if maximum is not None:
+        _require(value <= maximum,
+                 f"{key} must be <= {maximum}, got {value}", field=key)
+    return value
+
+
+def _norm_float(spec: Dict[str, object], key: str, default: float,
+                minimum: float, exclusive: bool = False) -> float:
+    value = spec.get(key, default)
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             f"{key} must be a number, got {value!r}", field=key)
+    value = float(value)  # type: ignore[arg-type]
+    if exclusive:
+        _require(value > minimum, f"{key} must be > {minimum}, got {value}",
+                 field=key)
+    else:
+        _require(value >= minimum,
+                 f"{key} must be >= {minimum}, got {value}", field=key)
+    return value
+
+
+def validate_spec(spec: object) -> Dict[str, object]:
+    """Validate and canonicalize one job spec.
+
+    Returns a *normalized* spec: defaults filled in, benchmark slugs and
+    size names resolved through the registry, keys in a fixed set.  Two
+    submissions meaning the same work therefore normalize to the same
+    dictionary — and the same :func:`spec_digest` — whether or not they
+    spelled the defaults out, which is what makes the result cache
+    effective.  Raises :class:`SpecError` (JSON-RPC "invalid params")
+    on anything unknown; validation must reject bad work at admission,
+    never halfway into execution.
+    """
+    _require(isinstance(spec, dict), "job spec must be an object")
+    spec = dict(spec)  # type: ignore[arg-type]
+    job_type = spec.get("type")
+    _require(job_type in JOB_TYPES,
+             f"unknown job type {job_type!r} (choose from "
+             f"{', '.join(JOB_TYPES)})", field="type")
+
+    normalized: Dict[str, object] = {"type": job_type}
+    if job_type == "run":
+        from .runner import ALL_SIZES
+
+        benchmarks = spec.get("benchmarks") or []
+        _require(isinstance(benchmarks, list),
+                 "benchmarks must be a list of slugs", field="benchmarks")
+        normalized["benchmarks"] = [_norm_slug(s) for s in benchmarks]
+        sizes = spec.get("sizes") or [s.name for s in ALL_SIZES]
+        _require(isinstance(sizes, list) and sizes,
+                 "sizes must be a non-empty list", field="sizes")
+        normalized["sizes"] = [_norm_size(s) for s in sizes]
+        normalized["variants"] = _norm_int(spec, "variants", 1, 1, 5)
+        normalized["warmup"] = _norm_int(spec, "warmup", 0, 0)
+        normalized["repeats"] = _norm_int(spec, "repeats", 1, 1)
+        normalized["backend"] = _norm_backend(spec.get("backend"))
+    elif job_type in ("trace", "flame"):
+        _require("benchmark" in spec, "trace/flame specs need a benchmark",
+                 field="benchmark")
+        normalized["benchmark"] = _norm_slug(spec["benchmark"])
+        normalized["size"] = _norm_size(
+            spec.get("size", "SQCIF" if job_type == "trace" else "CIF"))
+        normalized["variant"] = _norm_int(spec, "variant", 0, 0, 4)
+        normalized["backend"] = _norm_backend(spec.get("backend"))
+        if job_type == "flame":
+            normalized["repeats"] = _norm_int(spec, "repeats", 10, 1)
+            normalized["warmup"] = _norm_int(spec, "warmup", 2, 0)
+            normalized["interval"] = _norm_float(spec, "interval", 0.0002,
+                                                 0.0, exclusive=True)
+            fmt = spec.get("format", "collapsed")
+            _require(fmt in ("collapsed", "speedscope"),
+                     f"unknown flame format {fmt!r}", field="format")
+            normalized["format"] = fmt
+    elif job_type == "report":
+        from_job = spec.get("from_job")
+        if from_job is not None:
+            _require(isinstance(from_job, str),
+                     "from_job must be a job id string", field="from_job")
+            normalized["from_job"] = from_job
+        else:
+            from .runner import ALL_SIZES
+
+            benchmarks = spec.get("benchmarks") or []
+            _require(isinstance(benchmarks, list),
+                     "benchmarks must be a list of slugs",
+                     field="benchmarks")
+            normalized["benchmarks"] = [_norm_slug(s) for s in benchmarks]
+            sizes = spec.get("sizes") or [s.name for s in ALL_SIZES]
+            _require(isinstance(sizes, list) and sizes,
+                     "sizes must be a non-empty list", field="sizes")
+            normalized["sizes"] = [_norm_size(s) for s in sizes]
+            normalized["warmup"] = _norm_int(spec, "warmup", 0, 0)
+            normalized["repeats"] = _norm_int(spec, "repeats", 1, 1)
+            normalized["backend"] = _norm_backend(spec.get("backend"))
+    else:  # regress
+        for key in ("candidate_job", "baseline_job"):
+            value = spec.get(key)
+            _require(isinstance(value, str) and bool(value),
+                     f"regress specs need a {key} job id", field=key)
+            normalized[key] = value
+        normalized["sigmas"] = _norm_float(spec, "sigmas", 2.0, 0.0)
+        normalized["min_slowdown"] = _norm_float(spec, "min_slowdown",
+                                                 0.10, 0.0)
+    return normalized
+
+
+def spec_digest(spec: Dict[str, object]) -> str:
+    """Canonical hash of a normalized spec — the result-cache key.
+
+    Same construction as the shard planner's plan digest
+    (:func:`repro.core.shard.plan_digest`): sha256 over the sorted-key
+    canonical JSON, truncated to 16 hex characters.  Validation has
+    already filled every default, so logically identical submissions
+    collide here by design.
+    """
+    canonical = json.dumps(spec, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Rate limiting
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``take`` consumes one token if available and otherwise reports how
+    long until the next one accrues — the ``retry_after_s`` hint of a
+    rate-limit rejection.  The clock is injectable for deterministic
+    tests; callers provide locking (the manager's lock covers it).
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def take(self) -> Tuple[bool, float]:
+        """Consume one token; ``(False, seconds_until_next)`` if empty."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate
+
+
+# ----------------------------------------------------------------------
+# Jobs
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and everything recorded about it."""
+
+    id: str
+    spec: Dict[str, object]
+    digest: str
+    priority: str
+    client: str
+    seq: int
+    state: str = QUEUED
+    submitted: float = 0.0
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, object]] = None
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def rank(self) -> int:
+        return PRIORITIES.index(self.priority)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The ``job.status`` payload: everything but the result body."""
+        return {
+            "id": self.id,
+            "type": self.spec.get("type"),
+            "state": self.state,
+            "priority": self.priority,
+            "client": self.client,
+            "digest": self.digest,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "artifacts": sorted(self.artifacts),
+        }
+
+
+def job_block(job: Job) -> Dict[str, object]:
+    """The schema-v8 ``job`` provenance block a served export carries.
+
+    Identifies which service job produced the export — id, canonical
+    spec digest, client and priority — without contaminating the
+    *manifest* (whose hash must depend only on the measurement
+    configuration, so identical specs stay idempotent in history).
+    """
+    return {
+        "schema": JOBS_SCHEMA,
+        "id": job.id,
+        "type": job.spec.get("type"),
+        "digest": job.digest,
+        "client": job.client,
+        "priority": job.priority,
+        "submitted": job.submitted,
+    }
+
+
+#: Executes one job: (job, manager) -> (result payload, artifacts).
+#: Injectable so tests can block workers or count executions.
+JobExecutor = Callable[["Job", "JobManager"],
+                       Tuple[Dict[str, object], Dict[str, str]]]
+
+
+class JobManager:
+    """Bounded worker pool with admission control and a result cache.
+
+    The synchronization discipline: one lock (condition variable)
+    guards the queue, the job table, the cache, the saturation latch
+    and the rate-limit buckets; job *execution* happens outside the
+    lock on worker threads.  Counters and gauges live in a thread-safe
+    :class:`~repro.core.metrics.MetricsRegistry` so ``server.info``
+    snapshots are consistent without touching the queue lock.
+    """
+
+    def __init__(self,
+                 workers: int = 2,
+                 max_queue: int = 16,
+                 low_watermark: Optional[int] = None,
+                 high_watermark: Optional[int] = None,
+                 rate_limit: float = 0.0,
+                 rate_burst: Optional[int] = None,
+                 history_db: Optional[str] = None,
+                 work_dir: Optional[str] = None,
+                 executor: Optional[JobExecutor] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.workers = int(workers)
+        self.max_queue = int(max_queue)
+        self.high_watermark = (int(high_watermark)
+                               if high_watermark is not None else max_queue)
+        self.low_watermark = (int(low_watermark)
+                              if low_watermark is not None
+                              else max(1, max_queue // 2))
+        if not 1 <= self.low_watermark <= self.high_watermark <= max_queue:
+            raise ValueError(
+                f"need 1 <= low ({self.low_watermark}) <= high "
+                f"({self.high_watermark}) <= max_queue ({max_queue})")
+        self.rate_limit = float(rate_limit)
+        self.rate_burst = (int(rate_burst) if rate_burst is not None
+                           else max(1, int(self.rate_limit)))
+        self.history_db = history_db
+        if work_dir is None:
+            import tempfile
+
+            work_dir = tempfile.mkdtemp(prefix="sdvbs-serve-")
+        self.work_dir = work_dir
+        self.executor: JobExecutor = executor or execute_job
+        self.metrics = MetricsRegistry(threadsafe=True)
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._jobs: Dict[str, Job] = {}
+        self._heap: List[Tuple[int, int, str]] = []
+        self._queued = 0
+        self._running = 0
+        self._saturated = False
+        self._seq = 0
+        self._cache: Dict[str, str] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+        self._mean_seconds = 0.0
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        with self._cond:
+            if self._threads:
+                return
+            self._stopping = False
+            for index in range(self.workers):
+                thread = threading.Thread(target=self._worker,
+                                          name=f"sdvbs-worker-{index}",
+                                          daemon=True)
+                thread.start()
+                self._threads.append(thread)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the pool: running jobs finish, queued jobs stay queued.
+
+        Queued-but-never-run jobs are *not* silently discarded — they
+        remain visible as ``queued`` in ``job.list`` so an operator can
+        see what a shutdown abandoned (SERVING.md documents this).
+        """
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    # Admission
+
+    def _retry_after(self) -> float:
+        """Backoff hint: roughly one queue-drain's worth of seconds."""
+        per_job = self._mean_seconds if self._completed else 1.0
+        estimate = max(1.0, self._queued * max(per_job, 0.05) / self.workers)
+        return round(min(estimate, 600.0), 2)
+
+    def submit(self, spec: object, client: str = "anonymous",
+               priority: str = "normal") -> Tuple[Job, bool]:
+        """Validate, admit and enqueue one job.
+
+        Returns ``(job, cached)``; ``cached`` means the spec's digest
+        matched a completed job and that job is returned instead of
+        re-executing.  Raises a typed :class:`JobError` subclass when
+        validation, rate limiting or admission control refuses.
+
+        Admission order is deliberate: validate first (a malformed spec
+        is the submitter's bug regardless of load), then rate-limit
+        (cheap, per client), then serve from cache (a hit costs the
+        server nothing, so it must not be charged against the queue),
+        then apply queue bounds.
+        """
+        if priority not in PRIORITIES:
+            raise SpecError(
+                f"unknown priority {priority!r} (choose from "
+                f"{', '.join(PRIORITIES)})", field="priority")
+        normalized = validate_spec(spec)
+        digest = spec_digest(normalized)
+        with self._cond:
+            self.metrics.inc("jobs.submitted")
+            if self.rate_limit > 0:
+                bucket = self._buckets.get(client)
+                if bucket is None:
+                    bucket = self._buckets[client] = TokenBucket(
+                        self.rate_limit, self.rate_burst, clock=self._clock)
+                allowed, wait = bucket.take()
+                if not allowed:
+                    self.metrics.inc("rejected.rate_limited")
+                    raise RateLimitedError(
+                        f"client {client!r} exceeded {self.rate_limit:g} "
+                        "submissions/s",
+                        retry_after_s=round(wait, 3),
+                        limit_per_s=self.rate_limit,
+                        burst=self.rate_burst,
+                    )
+            cached_id = self._cache.get(digest)
+            if cached_id is not None:
+                cached = self._jobs.get(cached_id)
+                if cached is not None and cached.state == DONE:
+                    self.metrics.inc("cache.hits")
+                    return cached, True
+            job = self._admit(normalized, digest, client, priority)
+            self._cond.notify()
+            return job, False
+
+    def _admit(self, spec: Dict[str, object], digest: str, client: str,
+               priority: str) -> Job:
+        """Queue-bound admission; caller holds the lock."""
+        rank = PRIORITIES.index(priority)
+        # Watermark hysteresis: saturate at high, drain to low.
+        if self._queued >= self.high_watermark:
+            self._saturated = True
+        if self._saturated and rank > 0 and self._queued > self.low_watermark:
+            self.metrics.inc("rejected.backpressure")
+            raise QueueFullError(
+                f"queue saturated ({self._queued} queued >= high watermark "
+                f"{self.high_watermark}); only high-priority jobs are "
+                "admitted until the backlog drains to "
+                f"{self.low_watermark}",
+                reason="backpressure",
+                retry_after_s=self._retry_after(),
+                queue_depth=self._queued,
+                high_watermark=self.high_watermark,
+                low_watermark=self.low_watermark,
+            )
+        if self._queued >= self.max_queue:
+            evicted = self._evict_for(rank) if rank == 0 else None
+            if evicted is None:
+                self.metrics.inc("rejected.queue_full")
+                raise QueueFullError(
+                    f"queue full ({self._queued}/{self.max_queue} jobs "
+                    "queued)",
+                    reason="queue-full",
+                    retry_after_s=self._retry_after(),
+                    queue_depth=self._queued,
+                    max_queue=self.max_queue,
+                )
+        self._seq += 1
+        job = Job(
+            id=f"job-{self._seq:06d}",
+            spec=spec,
+            digest=digest,
+            priority=priority,
+            client=client,
+            seq=self._seq,
+            submitted=time.time(),
+        )
+        self._jobs[job.id] = job
+        heapq.heappush(self._heap, (job.rank, job.seq, job.id))
+        self._queued += 1
+        self.metrics.inc("jobs.accepted")
+        self.metrics.set_gauge("queue.depth", self._queued)
+        return job
+
+    def _evict_for(self, rank: int) -> Optional[Job]:
+        """Evict the youngest queued job of strictly lower priority."""
+        victim: Optional[Job] = None
+        for job in self._jobs.values():
+            if job.state != QUEUED or job.rank <= rank:
+                continue
+            if victim is None or (job.rank, job.seq) > (victim.rank,
+                                                        victim.seq):
+                victim = job
+        if victim is None:
+            return None
+        victim.state = EVICTED
+        victim.finished = time.time()
+        victim.error = ("evicted under queue pressure by a high-priority "
+                        "submission")
+        self._queued -= 1
+        self.metrics.inc("jobs.evicted")
+        self.metrics.set_gauge("queue.depth", self._queued)
+        return victim
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def _get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"no job with id {job_id!r}",
+                                  job_id=job_id)
+        return job
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        with self._cond:
+            return self._get(job_id).to_dict()
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The completed job's payload (typed error otherwise)."""
+        with self._cond:
+            job = self._get(job_id)
+            if job.state == FAILED:
+                raise JobNotDoneError(
+                    f"job {job_id} failed: {job.error}",
+                    state=job.state, job_id=job_id)
+            if job.state != DONE:
+                raise JobNotDoneError(
+                    f"job {job_id} is {job.state}, not done",
+                    state=job.state, job_id=job_id)
+            return {
+                "job": job.to_dict(),
+                "result": dict(job.result or {}),
+                "artifacts": {
+                    name: f"/artifacts/{job.id}/{name}"
+                    for name in sorted(job.artifacts)
+                },
+            }
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Cancel a *queued* job (running/terminal jobs are typed errors)."""
+        with self._cond:
+            job = self._get(job_id)
+            if job.state != QUEUED:
+                raise NotCancellableError(
+                    f"job {job_id} is {job.state}; only queued jobs can "
+                    "be cancelled", state=job.state, job_id=job_id)
+            job.state = CANCELLED
+            job.finished = time.time()
+            self._queued -= 1
+            self._maybe_drain()
+            self.metrics.inc("jobs.cancelled")
+            self.metrics.set_gauge("queue.depth", self._queued)
+            return job.to_dict()
+
+    def list_jobs(self, state: Optional[str] = None,
+                  client: Optional[str] = None,
+                  limit: int = 50) -> List[Dict[str, object]]:
+        """Newest-first job summaries, optionally filtered."""
+        with self._cond:
+            out = []
+            for job in reversed(list(self._jobs.values())):
+                if state is not None and job.state != state:
+                    continue
+                if client is not None and job.client != client:
+                    continue
+                out.append(job.to_dict())
+                if len(out) >= max(1, limit):
+                    break
+            return out
+
+    def artifact_path(self, job_id: str, name: str) -> str:
+        """Filesystem path of one artifact (typed errors otherwise)."""
+        with self._cond:
+            job = self._get(job_id)
+            path = job.artifacts.get(name)
+            if path is None:
+                known = ", ".join(sorted(job.artifacts)) or "none"
+                raise UnknownJobError(
+                    f"job {job_id} has no artifact {name!r} "
+                    f"(available: {known})", job_id=job_id, artifact=name)
+            return path
+
+    def counts(self) -> Dict[str, int]:
+        with self._cond:
+            counts = {state: 0 for state in
+                      (QUEUED, RUNNING) + TERMINAL_STATES}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+    def info(self) -> Dict[str, object]:
+        """The ``server.info`` body: config, counters, gauges, cache."""
+        with self._cond:
+            cache_entries = sum(
+                1 for digest, job_id in self._cache.items()
+                if self._jobs.get(job_id) is not None
+                and self._jobs[job_id].state == DONE)
+            saturated = self._saturated
+            queued, running = self._queued, self._running
+            mean_seconds = self._mean_seconds
+        counters = self.metrics.counters
+        return {
+            "config": {
+                "workers": self.workers,
+                "max_queue": self.max_queue,
+                "watermarks": [self.low_watermark, self.high_watermark],
+                "rate_limit_per_s": self.rate_limit,
+                "rate_burst": self.rate_burst,
+                "history_db": self.history_db,
+                "work_dir": self.work_dir,
+            },
+            "counters": counters,
+            "gauges": {
+                "queue_depth": queued,
+                "running": running,
+                "saturated": int(saturated),
+                "mean_job_seconds": round(mean_seconds, 6),
+            },
+            "cache": {
+                "entries": cache_entries,
+                "hits": int(counters.get("cache.hits", 0)),
+            },
+            "jobs": self.counts(),
+        }
+
+    # ------------------------------------------------------------------
+    # Worker pool
+
+    def _next_job(self) -> Optional[Job]:
+        """Pop the best queued job; caller holds the lock."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs.get(job_id)
+            if job is not None and job.state == QUEUED:
+                return job
+        return None
+
+    def _maybe_drain(self) -> None:
+        """Release the saturation latch once the backlog reaches low."""
+        if self._saturated and self._queued <= self.low_watermark:
+            self._saturated = False
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                job = self._next_job()
+                while job is None:
+                    if self._stopping:
+                        return
+                    self._cond.wait(timeout=0.2)
+                    job = self._next_job()
+                job.state = RUNNING
+                job.started = time.time()
+                self._queued -= 1
+                self._running += 1
+                self._maybe_drain()
+                self.metrics.set_gauge("queue.depth", self._queued)
+            started = self._clock()
+            try:
+                payload, artifacts = self.executor(job, self)
+            except Exception as exc:  # noqa: BLE001 — jobs fail, not the pool
+                with self._cond:
+                    job.state = FAILED
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.finished = time.time()
+                    self._running -= 1
+                    self.metrics.inc("jobs.failed")
+                continue
+            elapsed = self._clock() - started
+            with self._cond:
+                job.result = payload
+                job.artifacts = dict(artifacts)
+                job.state = DONE
+                job.finished = time.time()
+                self._running -= 1
+                self._completed += 1
+                # EMA over completed durations feeds the retry-after hint.
+                alpha = 0.3
+                self._mean_seconds = (elapsed if self._completed == 1 else
+                                      alpha * elapsed
+                                      + (1 - alpha) * self._mean_seconds)
+                self._cache[job.digest] = job.id
+                self.metrics.inc("jobs.completed")
+                self.metrics.observe("job.seconds", elapsed)
+
+
+# ----------------------------------------------------------------------
+# Executors: one per job type, all running on worker threads
+
+
+def _job_dir(manager: JobManager, job: Job) -> str:
+    path = os.path.join(manager.work_dir, job.id)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _write_artifact(manager: JobManager, job: Job, name: str,
+                    payload: str) -> Tuple[str, str]:
+    path = os.path.join(_job_dir(manager, job), name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return name, path
+
+
+def _serve_manifest(job: Job, warmup: int = 0, repeats: int = 1,
+                    backend: Optional[str] = None) -> Dict[str, object]:
+    """A canonical manifest for served runs: argv is the spec digest.
+
+    Two submissions of the same spec produce the same argv — and, on one
+    host, the same :func:`~repro.core.history.manifest_hash` — so
+    recording a re-served job into history is idempotent, exactly like
+    re-merging the same shard plan.
+    """
+    from .tracing import run_manifest
+
+    return run_manifest(argv=["serve", "job", job.digest], warmup=warmup,
+                        repeats=repeats, backend=backend)
+
+
+def _execute_run(job: Job, manager: JobManager
+                 ) -> Tuple[Dict[str, object], Dict[str, str]]:
+    from .export import result_to_json
+    from .runner import run_suite
+    from .types import InputSize
+
+    spec = job.spec
+    result = run_suite(
+        spec["benchmarks"] or None,  # type: ignore[index]
+        sizes=[InputSize[name] for name in spec["sizes"]],  # type: ignore[index]
+        variants=list(range(int(spec["variants"]))),  # type: ignore[arg-type]
+        warmup=int(spec["warmup"]),  # type: ignore[arg-type]
+        repeats=int(spec["repeats"]),  # type: ignore[arg-type]
+        backend=spec["backend"],  # type: ignore[arg-type]
+    )
+    result.manifest = _serve_manifest(
+        job, warmup=int(spec["warmup"]),  # type: ignore[arg-type]
+        repeats=int(spec["repeats"]),  # type: ignore[arg-type]
+        backend=spec["backend"])  # type: ignore[arg-type]
+    result.job = job_block(job)
+    artifacts = dict([_write_artifact(manager, job, "export.json",
+                                      result_to_json(result))])
+    payload: Dict[str, object] = {
+        "type": "run",
+        "cells": len(result.runs),
+        "summary": [
+            {
+                "benchmark": run.benchmark,
+                "size": run.size.name,
+                "variant": run.variant,
+                "median_ms": round(run.total_seconds * 1000.0, 3),
+            }
+            for run in result.runs
+        ],
+    }
+    if manager.history_db:
+        from .history import manifest_hash, open_history
+
+        digest = manifest_hash(result.manifest)
+        with open_history(manager.history_db) as store:
+            added = store.record(result)
+            recorded_before = len(store.entries(manifest_hash=digest))
+        manager.metrics.inc("history.recorded_cells", len(added))
+        payload["history"] = {
+            "db": manager.history_db,
+            "recorded": len(added),
+            "manifest_hash": digest,
+            # How many cells history holds for this exact measurement
+            # configuration — >len(added) means an identical spec was
+            # recorded before (by an earlier job or an earlier server).
+            "cells_for_manifest": recorded_before,
+        }
+    return payload, artifacts
+
+
+def _execute_trace(job: Job, manager: JobManager
+                   ) -> Tuple[Dict[str, object], Dict[str, str]]:
+    from .registry import get_benchmark
+    from .runner import run_benchmark
+    from .tracing import TraceRecorder, chrome_trace_json
+    from .types import InputSize
+
+    spec = job.spec
+    with TraceRecorder() as recorder:
+        run = run_benchmark(
+            get_benchmark(str(spec["benchmark"])),
+            InputSize[str(spec["size"])],
+            int(spec["variant"]),  # type: ignore[arg-type]
+            recorder=recorder,
+            backend=spec["backend"],  # type: ignore[arg-type]
+        )
+        manifest = _serve_manifest(job, backend=spec["backend"])  # type: ignore[arg-type]
+        artifacts = dict([_write_artifact(
+            manager, job, "trace.json",
+            chrome_trace_json(recorder.spans, manifest))])
+    return {
+        "type": "trace",
+        "spans": recorder.events,
+        "traced_ms": round(run.total_seconds * 1000.0, 3),
+    }, artifacts
+
+
+def _execute_flame(job: Job, manager: JobManager
+                   ) -> Tuple[Dict[str, object], Dict[str, str]]:
+    from .registry import get_benchmark
+    from .runner import run_benchmark
+    from .sampling import (
+        StackSampler,
+        kernel_frame_map,
+        speedscope_json,
+        to_collapsed,
+    )
+    from .types import InputSize
+
+    spec = job.spec
+    slug = str(spec["benchmark"])
+    sampler = StackSampler(interval=float(spec["interval"]),  # type: ignore[arg-type]
+                           frame_map=kernel_frame_map(slug))
+    run_benchmark(
+        get_benchmark(slug),
+        InputSize[str(spec["size"])],
+        int(spec["variant"]),  # type: ignore[arg-type]
+        warmup=int(spec["warmup"]),  # type: ignore[arg-type]
+        repeats=int(spec["repeats"]),  # type: ignore[arg-type]
+        backend=spec["backend"],  # type: ignore[arg-type]
+        sampler=sampler,
+    )
+    profile = sampler.profile
+    if spec["format"] == "speedscope":
+        name = "flame.speedscope.json"
+        payload_text = speedscope_json(
+            profile, name=f"{slug}@{spec['size']}")
+    else:
+        name = "flame.collapsed"
+        payload_text = to_collapsed(profile)
+    artifacts = dict([_write_artifact(manager, job, name, payload_text)])
+    shares = sorted(profile.shares().items(), key=lambda kv: -kv[1])
+    return {
+        "type": "flame",
+        "samples": profile.samples,
+        "sampled_seconds": round(profile.sampled_seconds, 6),
+        "top_shares": [
+            {"kernel": kernel, "share_pct": round(share, 2)}
+            for kernel, share in shares[:5]
+        ],
+    }, artifacts
+
+
+def _load_job_export(manager: JobManager, job_id: str):
+    """A completed run job's suite export (SpecError if unusable)."""
+    from .export import result_from_json
+
+    try:
+        path = manager.artifact_path(job_id, "export.json")
+    except UnknownJobError as exc:
+        raise SpecError(
+            f"job {job_id!r} has no suite export to build on "
+            "(is it a completed run job?)", job_id=job_id) from exc
+    with open(path, "r", encoding="utf-8") as handle:
+        return result_from_json(handle.read())
+
+
+def _execute_report(job: Job, manager: JobManager
+                    ) -> Tuple[Dict[str, object], Dict[str, str]]:
+    from .htmlreport import render_html_report
+    from .runner import run_suite
+    from .types import InputSize
+
+    spec = job.spec
+    if "from_job" in spec:
+        result = _load_job_export(manager, str(spec["from_job"]))
+    else:
+        result = run_suite(
+            spec["benchmarks"] or None,  # type: ignore[index]
+            sizes=[InputSize[name] for name in spec["sizes"]],  # type: ignore[index]
+            warmup=int(spec["warmup"]),  # type: ignore[arg-type]
+            repeats=int(spec["repeats"]),  # type: ignore[arg-type]
+            backend=spec["backend"],  # type: ignore[arg-type]
+        )
+        result.manifest = _serve_manifest(
+            job, warmup=int(spec["warmup"]),  # type: ignore[arg-type]
+            repeats=int(spec["repeats"]),  # type: ignore[arg-type]
+            backend=spec["backend"])  # type: ignore[arg-type]
+        result.job = job_block(job)
+    artifacts = dict([_write_artifact(manager, job, "report.html",
+                                      render_html_report(result))])
+    return {"type": "report", "cells": len(result.runs)}, artifacts
+
+
+def _execute_regress(job: Job, manager: JobManager
+                     ) -> Tuple[Dict[str, object], Dict[str, str]]:
+    import json as json_module
+
+    from .regress import (
+        cells_from_result,
+        detect_regressions,
+        latency_cells_from_result,
+        report_to_dict,
+    )
+
+    spec = job.spec
+    candidate = _load_job_export(manager, str(spec["candidate_job"]))
+    baseline = _load_job_export(manager, str(spec["baseline_job"]))
+    candidate_cells = cells_from_result(candidate)
+    candidate_cells.update(latency_cells_from_result(candidate))
+    baseline_cells = cells_from_result(baseline)
+    baseline_cells.update(latency_cells_from_result(baseline))
+    report = detect_regressions(
+        baseline_cells,
+        candidate_cells,
+        sigmas=float(spec["sigmas"]),  # type: ignore[arg-type]
+        min_slowdown=float(spec["min_slowdown"]),  # type: ignore[arg-type]
+        baseline_label=str(spec["baseline_job"]),
+        candidate_label=str(spec["candidate_job"]),
+    )
+    verdict = report_to_dict(report)
+    artifacts = dict([_write_artifact(
+        manager, job, "verdict.json",
+        json_module.dumps(verdict, indent=2, sort_keys=True))])
+    return {
+        "type": "regress",
+        "verdict": verdict,
+        "exit_code": report.exit_code,
+    }, artifacts
+
+
+_EXECUTORS: Dict[str, JobExecutor] = {
+    "run": _execute_run,
+    "trace": _execute_trace,
+    "flame": _execute_flame,
+    "report": _execute_report,
+    "regress": _execute_regress,
+}
+
+
+def execute_job(job: Job, manager: JobManager
+                ) -> Tuple[Dict[str, object], Dict[str, str]]:
+    """Dispatch one job to its type's executor (the default executor)."""
+    return _EXECUTORS[str(job.spec["type"])](job, manager)

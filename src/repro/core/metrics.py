@@ -37,6 +37,7 @@ recorded intensities are comparable across hosts and backends.
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
@@ -326,48 +327,67 @@ class KernelWork:
         )
 
 
+class _NullLock:
+    """No-op context manager standing in for a lock (default path)."""
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
 class MetricsRegistry:
     """In-process sink for counters, gauges, histograms and kernel work.
 
-    Deliberately minimal: plain dictionaries, no locking (one registry
-    per measurement cell, like the profiler), no export dependencies.
+    Deliberately minimal: plain dictionaries and, by default, no
+    locking (one registry per measurement cell, like the profiler) and
+    no export dependencies.  Pass ``threadsafe=True`` when one registry
+    is shared across threads — the serve layer's job manager does —
+    and every mutation and snapshot goes through one internal lock.
     Histograms are bounded :class:`LogHistogram` instances — memory
     stays O(buckets) however many samples a long stream observes — and
     :meth:`to_dict` summarizes them as count/sum/min/max/mean (exact,
     from the running aggregates) so exports stay bounded too.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, threadsafe: bool = False) -> None:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, LogHistogram] = {}
         self._work: Dict[str, KernelWork] = {}
+        self._lock = threading.Lock() if threadsafe else _NullLock()
 
     # ------------------------------------------------------------------
     # Primitive instruments
 
     def inc(self, name: str, value: float = 1.0) -> None:
         """Add ``value`` to counter ``name`` (created at 0)."""
-        self._counters[name] = self._counters.get(name, 0.0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to its latest ``value``."""
-        self._gauges[name] = float(value)
+        with self._lock:
+            self._gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
         """Record one sample into histogram ``name`` (bounded memory)."""
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = LogHistogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LogHistogram()
+            histogram.observe(value)
 
     @property
     def counters(self) -> Dict[str, float]:
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     @property
     def gauges(self) -> Dict[str, float]:
-        return dict(self._gauges)
+        with self._lock:
+            return dict(self._gauges)
 
     def histogram(self, name: str) -> List[float]:
         """The raw samples of one histogram ([] when never observed).
@@ -377,12 +397,14 @@ class MetricsRegistry:
         earliest retained samples are returned while the summary in
         :meth:`to_dict` still accounts every observation.
         """
-        histogram = self._histograms.get(name)
-        return histogram.raw_samples() if histogram is not None else []
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return histogram.raw_samples() if histogram is not None else []
 
     def log_histogram(self, name: str) -> Optional[LogHistogram]:
         """The underlying bounded histogram (``None`` if never observed)."""
-        return self._histograms.get(name)
+        with self._lock:
+            return self._histograms.get(name)
 
     # ------------------------------------------------------------------
     # Kernel work accounting (fed by the backend dispatcher)
@@ -390,14 +412,16 @@ class MetricsRegistry:
     def record_work(self, kernel: str, estimate: WorkEstimate,
                     seconds: float) -> None:
         """Accumulate one dispatched kernel call's work and wall time."""
-        entry = self._work.get(kernel)
-        if entry is None:
-            entry = self._work[kernel] = KernelWork(kernel=kernel)
-        entry.add(estimate, seconds)
+        with self._lock:
+            entry = self._work.get(kernel)
+            if entry is None:
+                entry = self._work[kernel] = KernelWork(kernel=kernel)
+            entry.add(estimate, seconds)
 
     @property
     def kernel_work(self) -> Dict[str, KernelWork]:
-        return dict(self._work)
+        with self._lock:
+            return dict(self._work)
 
     # ------------------------------------------------------------------
     # Serialization (the export layer's ``metrics`` block)
@@ -405,6 +429,10 @@ class MetricsRegistry:
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot: counters, gauges, histogram summaries,
         per-kernel work with derived rates."""
+        with self._lock:
+            return self._to_dict_locked()
+
+    def _to_dict_locked(self) -> Dict[str, object]:
         histograms: Dict[str, object] = {}
         for name, histogram in sorted(self._histograms.items()):
             histograms[name] = {

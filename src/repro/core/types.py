@@ -334,12 +334,18 @@ class SuiteResult:
     (:mod:`repro.core.streaming`, schema v7): pacer config plus
     per-stream and merged latency percentiles, jitter, sustained FPS
     and deadline-miss accounting.  ``None`` for batch-style runs.
+
+    ``job`` is the serve-layer provenance block (:mod:`repro.core.jobs`,
+    schema v8): job id, canonical spec digest, client and priority when
+    the result was produced by a ``sdvbs serve`` job.  ``None`` for
+    direct CLI runs.
     """
 
     runs: List[BenchmarkRun] = field(default_factory=list)
     manifest: Optional[Dict[str, object]] = None
     shard: Optional[Dict[str, object]] = None
     streaming: Optional[Dict[str, object]] = None
+    job: Optional[Dict[str, object]] = None
 
     def for_benchmark(self, name: str) -> List[BenchmarkRun]:
         return [run for run in self.runs if run.benchmark == name]

@@ -34,7 +34,7 @@ class TestRoundTrip:
     def test_json_is_valid(self):
         text = result_to_json(small_result())
         payload = json.loads(text)
-        assert payload["schema"] == "sdvbs-repro/suite-result/v7"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v8"
         assert len(payload["runs"]) == 1
 
     def test_v3_payload_still_readable(self):
@@ -113,6 +113,23 @@ class TestRoundTrip:
                         "merged_from": [0, 1]}
         restored = result_from_json(result_to_json(result))
         assert restored.shard == result.shard
+
+    def test_job_block_roundtrip(self):
+        result = small_result()
+        result.job = {"schema": "sdvbs-repro/serve-job/v1",
+                      "id": "job-000001", "type": "run",
+                      "digest": "ab" * 8, "client": "ci",
+                      "priority": "normal"}
+        restored = result_from_json(result_to_json(result))
+        assert restored.job == result.job
+
+    def test_v7_payload_still_readable(self):
+        payload = result_to_dict(small_result())
+        payload["schema"] = "sdvbs-repro/suite-result/v7"
+        payload.pop("job", None)
+        restored = result_from_dict(payload)
+        assert restored.runs[0].total_seconds == 1.5
+        assert restored.job is None
 
     def test_manifest_roundtrip(self):
         result = small_result()

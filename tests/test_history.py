@@ -163,6 +163,19 @@ class TestStoreBackends:
                              backend="fast")
         assert store.entries(benchmark="missing") == []
 
+    def test_manifest_hash_filter(self, store):
+        # Same configuration recorded under two commits shares the
+        # manifest hash; a different backend changes it (the serve
+        # layer's cache lookup relies on both).
+        store.record(make_result(backend="fast"), commit="c1")
+        store.record(make_result(backend="fast"), commit="c2")
+        store.record(make_result(backend="ref"), commit="c1")
+        digest = manifest_hash(make_result(backend="fast").manifest)
+        matching = store.entries(manifest_hash=digest)
+        assert len(matching) == 2
+        assert {e.commit for e in matching} == {"c1", "c2"}
+        assert store.entries(manifest_hash="0" * 16) == []
+
     def test_commits_in_first_recorded_order(self, store):
         store.record(make_result(), commit="c1")
         store.record(make_result(total=2.0, samples=(1.9, 2.0, 2.1)),

@@ -172,7 +172,7 @@ class TestCliReport:
         # Live mode has a trace, a sampler and a stamped manifest.
         assert "slowest kernel invocations" in html
         payload = json.loads(export.read_text())
-        assert payload["schema"] == "sdvbs-repro/suite-result/v7"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v8"
         assert "instrumentation" in payload["manifest"]
         assert payload["runs"][0]["sampling"] is not None
 

@@ -1,0 +1,551 @@
+"""Tests for the benchmark service: jobs, admission control, JSON-RPC.
+
+The admission-control tests inject a gated executor so queue depth is
+under test control; the round-trip tests run the real executors on the
+smallest input (disparity @ SQCIF) against a live in-process
+ThreadingHTTPServer on an ephemeral port.
+"""
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.core.history import open_history
+from repro.core.jobs import (
+    JobManager,
+    NotCancellableError,
+    QueueFullError,
+    RateLimitedError,
+    SpecError,
+    TokenBucket,
+    UnknownJobError,
+    spec_digest,
+    validate_spec,
+)
+from repro.core.serve import (
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    JOB_NOT_DONE,
+    METHOD_NOT_FOUND,
+    NOT_CANCELLABLE,
+    PARSE_ERROR,
+    QUEUE_FULL,
+    RATE_LIMITED,
+    UNKNOWN_JOB,
+    BenchServer,
+    make_server,
+)
+
+RUN_SPEC = {"type": "run", "benchmarks": ["disparity"], "sizes": ["SQCIF"],
+            "repeats": 1}
+
+
+def wait_for(manager, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = manager.status(job_id)
+        if status["state"] in ("done", "failed"):
+            return status
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish: "
+                         f"{manager.status(job_id)}")
+
+
+class GatedExecutor:
+    """Executor that blocks until released, counting executions."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, job, manager):
+        with self._lock:
+            self.calls += 1
+        self.gate.wait(timeout=30.0)
+        return {"ok": True, "digest": job.digest}, {}
+
+
+# ----------------------------------------------------------------------
+# Spec validation and canonical digests
+
+
+class TestSpecs:
+    def test_run_spec_fills_defaults(self):
+        spec = validate_spec({"type": "run", "benchmarks": ["disparity"]})
+        assert spec["sizes"] == ["SQCIF", "QCIF", "CIF"]
+        assert spec["repeats"] == 1 and spec["warmup"] == 0
+        assert spec["backend"] is None
+
+    def test_equivalent_specs_share_a_digest(self):
+        explicit = validate_spec({"type": "run", "benchmarks": ["disparity"],
+                                  "sizes": ["sqcif", "qcif", "cif"],
+                                  "repeats": 1, "warmup": 0, "variants": 1})
+        defaulted = validate_spec({"type": "run",
+                                   "benchmarks": ["disparity"]})
+        assert spec_digest(explicit) == spec_digest(defaulted)
+        assert len(spec_digest(explicit)) == 16
+
+    def test_different_specs_differ(self):
+        a = validate_spec({"type": "run", "benchmarks": ["disparity"]})
+        b = validate_spec({"type": "run", "benchmarks": ["disparity"],
+                           "repeats": 2})
+        assert spec_digest(a) != spec_digest(b)
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        {"type": "nope"},
+        {"type": "run", "benchmarks": ["zzz"]},
+        {"type": "run", "sizes": ["huge"]},
+        {"type": "run", "repeats": 0},
+        {"type": "run", "warmup": -1},
+        {"type": "run", "backend": "gpu"},
+        {"type": "run", "variants": 6},
+        {"type": "trace"},
+        {"type": "flame", "benchmark": "disparity", "interval": 0.0},
+        {"type": "flame", "benchmark": "disparity", "format": "svg"},
+        {"type": "regress", "candidate_job": "job-1"},
+        {"type": "report", "from_job": 7},
+    ])
+    def test_invalid_specs_raise(self, bad):
+        with pytest.raises(SpecError):
+            validate_spec(bad)
+
+    def test_size_and_slug_normalization(self):
+        spec = validate_spec({"type": "trace", "benchmark": "disparity",
+                              "size": "cif"})
+        assert spec["size"] == "CIF"
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=2, clock=lambda: now[0])
+        assert bucket.take() == (True, 0.0)
+        assert bucket.take() == (True, 0.0)
+        ok, wait = bucket.take()
+        assert not ok and wait == pytest.approx(0.5)
+        now[0] += 0.5
+        assert bucket.take()[0]
+
+
+# ----------------------------------------------------------------------
+# Admission control (gated executor; no real benchmark work)
+
+
+class TestAdmission:
+    def make(self, **kwargs):
+        executor = GatedExecutor()
+        kwargs.setdefault("workers", 1)
+        kwargs.setdefault("work_dir", "/tmp/sdvbs-test-admission")
+        manager = JobManager(executor=executor, **kwargs)
+        manager.start()
+        return manager, executor
+
+    def specs(self, count, start=0):
+        return [{"type": "run", "benchmarks": ["disparity"],
+                 "sizes": ["SQCIF"], "repeats": start + i + 1}
+                for i in range(count)]
+
+    def test_queue_full_rejection_is_typed(self):
+        # Watermarks pinned to the cap so the hard queue-full path is
+        # what rejects (backpressure has its own test below).
+        manager, executor = self.make(max_queue=2, low_watermark=2,
+                                      high_watermark=2)
+        try:
+            manager.submit(self.specs(1)[0])
+            time.sleep(0.1)  # the worker holds job 1; queue drains to 0
+            manager.submit(self.specs(1, start=1)[0])
+            manager.submit(self.specs(1, start=2)[0])  # depth 2 == cap
+            with pytest.raises(QueueFullError) as excinfo:
+                manager.submit(self.specs(1, start=3)[0])
+            data = excinfo.value.data
+            assert data["retry_after_s"] >= 1.0
+            assert data["reason"] == "queue-full"
+            assert manager.metrics.counters["rejected.queue_full"] == 1
+        finally:
+            executor.gate.set()
+            manager.stop()
+
+    def test_watermark_backpressure_admits_only_high(self):
+        manager, executor = self.make(max_queue=8, low_watermark=1,
+                                      high_watermark=2)
+        try:
+            manager.submit(self.specs(1)[0])
+            time.sleep(0.1)  # worker holds job 1; queue is empty again
+            manager.submit(self.specs(1, start=1)[0])
+            manager.submit(self.specs(1, start=2)[0])  # depth 2 == HIGH
+            with pytest.raises(QueueFullError) as excinfo:
+                manager.submit(self.specs(1, start=3)[0])
+            assert excinfo.value.data["reason"] == "backpressure"
+            # High-priority work is still admitted while saturated.
+            job, cached = manager.submit(self.specs(1, start=4)[0],
+                                         priority="high")
+            assert not cached and job.state == "queued"
+        finally:
+            executor.gate.set()
+            manager.stop()
+
+    def test_high_priority_evicts_youngest_lower(self):
+        manager, executor = self.make(max_queue=2)
+        try:
+            manager.submit(self.specs(1)[0])
+            time.sleep(0.1)
+            manager.submit(self.specs(1, start=1)[0])
+            victim, _ = manager.submit(self.specs(1, start=2)[0],
+                                       priority="low")
+            evictor, cached = manager.submit(self.specs(1, start=3)[0],
+                                             priority="high")
+            assert not cached
+            assert manager.status(victim.id)["state"] == "evicted"
+            assert manager.status(evictor.id)["state"] == "queued"
+            assert manager.metrics.counters["jobs.evicted"] == 1
+        finally:
+            executor.gate.set()
+            manager.stop()
+
+    def test_no_accepted_job_is_lost_under_burst(self):
+        manager, executor = self.make(max_queue=4, workers=2)
+        accepted, rejected = [], 0
+        try:
+            for spec in self.specs(32):
+                try:
+                    job, _ = manager.submit(spec)
+                    accepted.append(job.id)
+                except QueueFullError:
+                    rejected += 1
+            executor.gate.set()
+            for job_id in accepted:
+                assert wait_for(manager, job_id)["state"] == "done"
+            assert rejected > 0
+            counts = manager.counts()
+            assert counts["done"] == len(accepted)
+        finally:
+            executor.gate.set()
+            manager.stop()
+
+    def test_rate_limit_rejection_is_typed(self):
+        manager, executor = self.make(max_queue=16, rate_limit=1.0,
+                                      rate_burst=2)
+        try:
+            manager.submit(self.specs(1)[0], client="alice")
+            manager.submit(self.specs(1, start=1)[0], client="alice")
+            with pytest.raises(RateLimitedError) as excinfo:
+                manager.submit(self.specs(1, start=2)[0], client="alice")
+            assert excinfo.value.data["retry_after_s"] > 0
+            # Another client has its own bucket.
+            manager.submit(self.specs(1, start=3)[0], client="bob")
+        finally:
+            executor.gate.set()
+            manager.stop()
+
+    def test_cancel_queued_only(self):
+        manager, executor = self.make(max_queue=4)
+        try:
+            running, _ = manager.submit(self.specs(1)[0])
+            time.sleep(0.1)
+            queued, _ = manager.submit(self.specs(1, start=1)[0])
+            assert manager.cancel(queued.id)["state"] == "cancelled"
+            with pytest.raises(NotCancellableError):
+                manager.cancel(running.id)
+            with pytest.raises(NotCancellableError):
+                manager.cancel(queued.id)  # already terminal
+            with pytest.raises(UnknownJobError):
+                manager.cancel("job-999999")
+        finally:
+            executor.gate.set()
+            manager.stop()
+
+    def test_duplicate_spec_served_from_cache(self):
+        manager, executor = self.make(max_queue=4)
+        executor.gate.set()
+        try:
+            spec = self.specs(1)[0]
+            first, cached = manager.submit(spec)
+            assert not cached
+            wait_for(manager, first.id)
+            again, cached = manager.submit(dict(spec))
+            assert cached and again.id == first.id
+            assert executor.calls == 1
+            assert manager.metrics.counters["cache.hits"] == 1
+            assert manager.info()["cache"]["hits"] == 1
+        finally:
+            manager.stop()
+
+    def test_priority_order_of_execution(self):
+        manager, executor = self.make(max_queue=8)
+        order = []
+        lock = threading.Lock()
+
+        def tracking(job, mgr):
+            with lock:
+                order.append(job.priority)
+            executor.gate.wait(timeout=30.0)
+            return {}, {}
+
+        manager.executor = tracking
+        try:
+            blocker, _ = manager.submit(self.specs(1)[0])
+            time.sleep(0.1)
+            manager.submit(self.specs(1, start=1)[0], priority="low")
+            manager.submit(self.specs(1, start=2)[0], priority="normal")
+            manager.submit(self.specs(1, start=3)[0], priority="high")
+            executor.gate.set()
+            deadline = time.monotonic() + 10.0
+            while len(order) < 4 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert order[1:] == ["high", "normal", "low"]
+        finally:
+            executor.gate.set()
+            manager.stop()
+
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError):
+            JobManager(max_queue=4, low_watermark=5, high_watermark=2)
+
+
+# ----------------------------------------------------------------------
+# HTTP/JSON-RPC round trips (live server, real executors)
+
+
+@pytest.fixture(scope="class")
+def server(request, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("serve")
+    bench = make_server(port=0, workers=2, max_queue=8,
+                        history_db=str(tmp / "history.sqlite"),
+                        work_dir=str(tmp / "work"))
+    bench.start()
+    request.cls.server = bench
+    request.cls.url = bench.url
+    yield bench
+    bench.stop()
+
+
+def rpc_call(url, method, params=None, rid=1, raw=None):
+    body = raw if raw is not None else json.dumps(
+        {"jsonrpc": "2.0", "id": rid, "method": method,
+         "params": params or {}}).encode("utf-8")
+    request = urllib.request.Request(
+        url + "/", data=body, headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.mark.usefixtures("server")
+class TestHttpRoundTrip:
+    def submit(self, spec, **params):
+        status, body = rpc_call(self.url, "job.submit",
+                                {"spec": spec, **params})
+        assert status == 200, body
+        return body["result"]
+
+    def wait_http(self, job_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, body = rpc_call(self.url, "job.status", {"id": job_id})
+            if body["result"]["state"] in ("done", "failed"):
+                return body["result"]
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never finished")
+
+    def test_run_submit_status_result_and_cache(self):
+        first = self.submit(RUN_SPEC)
+        assert first["state"] == "queued" and not first["cached"]
+        status = self.wait_http(first["id"])
+        assert status["state"] == "done", status["error"]
+
+        _, body = rpc_call(self.url, "job.result", {"id": first["id"]})
+        result = body["result"]
+        assert result["result"]["type"] == "run"
+        assert result["result"]["cells"] == 1
+        assert result["result"]["history"]["recorded"] == 1
+        artifact = result["artifacts"]["export.json"]
+
+        # The artifact streams back over plain GET as a v8 export with
+        # job provenance, and its manifest argv is the canonical
+        # ["serve", "job", digest] form.
+        with urllib.request.urlopen(self.url + artifact) as response:
+            payload = json.loads(response.read())
+        assert payload["schema"] == "sdvbs-repro/suite-result/v8"
+        assert payload["job"]["id"] == first["id"]
+        assert payload["manifest"]["argv"] == \
+            ["serve", "job", first["digest"]]
+
+        # Identical resubmission: served from cache, same job id, no
+        # re-execution (the history count did not grow).
+        again = self.submit(dict(RUN_SPEC))
+        assert again["cached"] and again["id"] == first["id"]
+        _, info = rpc_call(self.url, "server.info")
+        assert info["result"]["cache"]["hits"] >= 1
+        assert info["result"]["schema"] == "sdvbs-repro/serve/v1"
+
+        # Recording was idempotent: one cell for this manifest hash.
+        digest = result["result"]["history"]["manifest_hash"]
+        with open_history(self.server.manager.history_db) as store:
+            assert len(store.entries(manifest_hash=digest)) == 1
+
+    def test_regress_round_trip_via_from_jobs(self):
+        base = self.submit(RUN_SPEC)
+        job_id = base["id"] if base["cached"] else base["id"]
+        self.wait_http(job_id)
+        verdict = self.submit({"type": "regress", "candidate_job": job_id,
+                               "baseline_job": job_id})
+        status = self.wait_http(verdict["id"])
+        assert status["state"] == "done", status["error"]
+        _, body = rpc_call(self.url, "job.result", {"id": verdict["id"]})
+        result = body["result"]
+        assert result["result"]["exit_code"] == 0
+        assert "verdict.json" in result["artifacts"]
+
+    def test_malformed_json_is_parse_error(self):
+        status, body = rpc_call(self.url, None, raw=b"{not json")
+        assert status == 400
+        assert body["error"]["code"] == PARSE_ERROR
+
+    def test_batch_and_non_rpc_are_invalid_request(self):
+        status, body = rpc_call(self.url, None, raw=b"[]")
+        assert status == 400 and body["error"]["code"] == INVALID_REQUEST
+        status, body = rpc_call(self.url, None, raw=b'{"method": "x"}')
+        assert status == 400 and body["error"]["code"] == INVALID_REQUEST
+
+    def test_unknown_method(self):
+        status, body = rpc_call(self.url, "job.nope")
+        assert status == 404
+        assert body["error"]["code"] == METHOD_NOT_FOUND
+
+    def test_invalid_spec_is_invalid_params(self):
+        status, body = rpc_call(self.url, "job.submit",
+                                {"spec": {"type": "run",
+                                          "benchmarks": ["zzz"]}})
+        assert status == 400
+        assert body["error"]["code"] == INVALID_PARAMS
+        assert "zzz" in body["error"]["message"]
+
+    def test_unknown_job_and_not_done(self):
+        status, body = rpc_call(self.url, "job.status", {"id": "job-999999"})
+        assert status == 400 and body["error"]["code"] == UNKNOWN_JOB
+        # A cancelled job exists but never produces a result.
+        sub = self.submit(RUN_SPEC)
+        job_id = sub["id"]
+        self.wait_http(job_id)
+        pending = self.submit({"type": "regress", "candidate_job": job_id,
+                               "baseline_job": job_id, "sigmas": 3.0})
+        _, body = rpc_call(self.url, "job.result", {"id": "job-999999"})
+        assert body["error"]["code"] == UNKNOWN_JOB
+        self.wait_http(pending["id"])
+
+    def test_cancel_errors_over_http(self):
+        sub = self.submit(RUN_SPEC)
+        self.wait_http(sub["id"])
+        status, body = rpc_call(self.url, "job.cancel", {"id": sub["id"]})
+        assert status == 400
+        assert body["error"]["code"] == NOT_CANCELLABLE
+
+    def test_job_list_filters(self):
+        sub = self.submit(RUN_SPEC)
+        self.wait_http(sub["id"])
+        _, body = rpc_call(self.url, "job.list", {"state": "done"})
+        jobs = body["result"]["jobs"]
+        assert jobs and all(j["state"] == "done" for j in jobs)
+
+    def test_healthz_and_artifact_404(self):
+        with urllib.request.urlopen(self.url + "/healthz") as response:
+            assert json.loads(response.read())["ok"] is True
+        try:
+            urllib.request.urlopen(self.url + "/artifacts/job-999999/x.json")
+            raise AssertionError("expected 404")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+
+    def test_artifact_path_cannot_traverse(self):
+        # Names resolve against the job's artifact table; an arbitrary
+        # path segment is a typed miss, not a filesystem read.
+        sub = self.submit(RUN_SPEC)
+        self.wait_http(sub["id"])
+        try:
+            urllib.request.urlopen(
+                self.url + f"/artifacts/{sub['id']}/..%2F..%2Fsecret")
+            raise AssertionError("expected 404")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+
+
+class TestHttpAdmission:
+    """Queue-full and rate-limit carry the documented codes over HTTP."""
+
+    def test_queue_full_and_rate_limit_codes(self, tmp_path):
+        executor = GatedExecutor()
+        manager = JobManager(workers=1, max_queue=1, rate_limit=100.0,
+                             rate_burst=100, work_dir=str(tmp_path),
+                             executor=executor)
+        bench = BenchServer(manager, port=0)
+        bench.start()
+        try:
+            url = bench.url
+            specs = [{"type": "run", "benchmarks": ["disparity"],
+                      "sizes": ["SQCIF"], "repeats": i + 1}
+                     for i in range(8)]
+            assert rpc_call(url, "job.submit", {"spec": specs[0]})[0] == 200
+            time.sleep(0.1)
+            assert rpc_call(url, "job.submit", {"spec": specs[1]})[0] == 200
+            status, body = rpc_call(url, "job.submit", {"spec": specs[2]})
+            assert status == 429
+            assert body["error"]["code"] == QUEUE_FULL
+            assert body["error"]["data"]["retry_after_s"] >= 1.0
+        finally:
+            executor.gate.set()
+            bench.stop()
+
+    def test_rate_limit_code(self, tmp_path):
+        executor = GatedExecutor()
+        executor.gate.set()
+        manager = JobManager(workers=1, max_queue=16, rate_limit=0.001,
+                             rate_burst=1, work_dir=str(tmp_path),
+                             executor=executor)
+        bench = BenchServer(manager, port=0)
+        bench.start()
+        try:
+            url = bench.url
+            spec = {"type": "run", "benchmarks": ["disparity"],
+                    "sizes": ["SQCIF"], "repeats": 1}
+            assert rpc_call(url, "job.submit", {"spec": spec,
+                                                "client": "c"})[0] == 200
+            status, body = rpc_call(
+                url, "job.submit",
+                {"spec": {**spec, "repeats": 2}, "client": "c"})
+            assert status == 429
+            assert body["error"]["code"] == RATE_LIMITED
+            assert body["error"]["data"]["retry_after_s"] > 0
+        finally:
+            bench.stop()
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+
+
+class TestServeCli:
+    def test_nonpositive_args_exit_2(self, capsys):
+        for argv in (["serve", "--workers", "0"],
+                     ["serve", "--max-queue", "0"],
+                     ["serve", "--rate-limit", "-1"],
+                     ["serve", "--port", "-1"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_bad_watermarks_exit_2(self, capsys):
+        assert main(["serve", "--watermarks", "5", "2",
+                     "--max-queue", "4", "--port", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "low" in err and "high" in err

@@ -351,7 +351,7 @@ class TestCliShard:
         assert "recorded 2 new cell(s)" in out
 
         payload = json.loads(open(merged).read())
-        assert payload["schema"] == "sdvbs-repro/suite-result/v7"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v8"
         assert payload["shard"]["merged_from"] == [0, 1]
         benchmarks = {run["benchmark"] for run in payload["runs"]}
         assert benchmarks == {"disparity", "tracking"}

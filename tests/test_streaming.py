@@ -337,7 +337,7 @@ class TestExportRoundTrip:
         result.streaming = report.to_dict()
         text = result_to_json(result)
         payload = json.loads(text)
-        assert payload["schema"] == "sdvbs-repro/suite-result/v7"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v8"
         restored = result_from_json(text)
         assert restored.streaming == report.to_dict()
 
@@ -438,7 +438,7 @@ class TestCliStream:
                          "--warmup-frames", "1", "--variants", "1",
                          "--json", str(export)]) == 0
         payload = json.loads(export.read_text())
-        assert payload["schema"] == "sdvbs-repro/suite-result/v7"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v8"
         block = payload["streaming"]
         assert block["schema"] == STREAMING_SCHEMA
         assert len(block["streams"]) == 2

@@ -440,5 +440,5 @@ class TestCli:
         assert spans
         assert manifest["argv"][0] == "run"
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == "sdvbs-repro/suite-result/v7"
+        assert payload["schema"] == "sdvbs-repro/suite-result/v8"
         assert payload["manifest"]["measurement"]["repeats"] == 1
