@@ -807,6 +807,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             rate_burst=args.burst,
             history_db=args.db,
             work_dir=args.work_dir,
+            access_log=args.access_log,
+            log_file=args.log_file,
         )
     except (OSError, ValueError) as exc:
         print(f"sdvbs serve: {exc}", file=sys.stderr)
@@ -821,7 +823,9 @@ def _run_serve(args: argparse.Namespace) -> int:
           + (f", history {manager.history_db}" if manager.history_db
              else ""))
     print(f"artifacts under {manager.work_dir}; POST JSON-RPC 2.0 to / "
-          "(methods and error codes in SERVING.md); Ctrl-C to stop")
+          "(methods and error codes in SERVING.md); GET /metrics for "
+          "Prometheus; `sdvbs top` for a live view; Ctrl-C to stop"
+          + (f"; events -> {args.log_file}" if args.log_file else ""))
     try:
         server.serve_forever()
         # serve_forever returns when a client called server.shutdown;
@@ -832,6 +836,67 @@ def _run_serve(args: argparse.Namespace) -> int:
         print("\nsdvbs serve: shutting down (running jobs drain)...")
         server.stop()
     return 0
+
+
+def _top_rpc(url: str, method: str) -> dict:
+    """One parameterless JSON-RPC call against a serve instance."""
+    import json
+    import urllib.request
+
+    body = json.dumps({"jsonrpc": "2.0", "id": method,
+                       "method": method, "params": {}}).encode("utf-8")
+    request = urllib.request.Request(
+        url.rstrip("/") + "/", data=body,
+        headers={"Content-Type": "application/json",
+                 "X-SDVBS-Client": "sdvbs-top"})
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    if "error" in payload:
+        error = payload["error"]
+        raise OSError(f"{method}: server error {error.get('code')}: "
+                      f"{error.get('message')}")
+    return payload["result"]
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    """``sdvbs top``: live operator view of a running serve instance."""
+    import json
+    import time
+
+    from .core.telemetry import render_top, top_snapshot
+
+    def frame() -> dict:
+        info = _top_rpc(args.url, "server.info")
+        metrics = _top_rpc(args.url, "server.metrics")
+        return top_snapshot(info, metrics)
+
+    if args.once:
+        try:
+            snapshot = frame()
+        except OSError as exc:
+            print(f"sdvbs top: {args.url}: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(snapshot, indent=2, sort_keys=True)
+              if args.json else render_top(snapshot))
+        return 0
+    try:
+        while True:
+            try:
+                snapshot = frame()
+            except OSError as exc:
+                print(f"sdvbs top: {args.url}: {exc}", file=sys.stderr)
+                return 2
+            if args.json:
+                print(json.dumps(snapshot, sort_keys=True), flush=True)
+            else:
+                # Clear + home, then the frame — a poor man's curses.
+                print("\x1b[2J\x1b[H" + render_top(snapshot)
+                      + f"\n(every {args.interval:g}s; Ctrl-C to exit)",
+                      flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _run_verify_backends(args: argparse.Namespace) -> int:
@@ -1325,6 +1390,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_parser.add_argument("--work-dir", default=None, metavar="DIR",
                               help="artifact directory, one subdirectory "
                               "per job (default: a fresh temp dir)")
+    serve_parser.add_argument("--access-log", action="store_true",
+                              help="emit one structured http.access event "
+                              "per HTTP response into the event log "
+                              "(default: off; metrics count regardless)")
+    serve_parser.add_argument("--log-file", default=None, metavar="PATH",
+                              help="append structured JSON-lines events "
+                              "(job lifecycle, admission, access log) to "
+                              "this file (default: in-memory ring only)")
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live view of a running sdvbs serve instance: queue depth, "
+        "per-state job counts, worker utilization, cache hit rate and "
+        "queue-wait/exec latency percentiles, polled over JSON-RPC",
+    )
+    top_parser.add_argument("--url", default="http://127.0.0.1:8642",
+                            metavar="URL",
+                            help="server base URL "
+                            "(default: http://127.0.0.1:8642)")
+    top_parser.add_argument("--interval",
+                            type=_float_arg("--interval", 0.1),
+                            default=2.0, metavar="SECONDS",
+                            help="refresh period (default: 2.0)")
+    top_parser.add_argument("--once", action="store_true",
+                            help="render a single frame and exit")
+    top_parser.add_argument("--json", action="store_true",
+                            help="print the frame as JSON instead of the "
+                            "terminal view (implies a machine consumer; "
+                            "pairs with --once for scripting)")
 
     args = parser.parse_args(argv)
     cli_argv = list(argv) if argv is not None else list(sys.argv[1:])
@@ -1367,6 +1461,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_shard(args, cli_argv)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "top":
+        return _run_top(args)
 
     from .core.profiler import measure_probe_overhead
 

@@ -41,6 +41,17 @@ exports, chrome traces, flamegraphs, HTML reports, regression verdicts)
 are written under ``work_dir/<job id>/`` and streamed back over HTTP by
 job id.
 
+Since PR 9 the manager is also the service's telemetry source
+(SERVING.md "Telemetry" section): every admission decision, cache hit,
+eviction, worker pick-up and state transition emits one structured
+event into an :class:`~repro.core.telemetry.EventLog`; per-job-type
+queue-wait and execution-latency land in labeled
+:class:`~repro.core.metrics.LogHistogram` instruments; jobs-by-state
+and worker-busy gauges track the pool live; and each executed job
+carries a lifecycle :class:`~repro.core.tracing.TraceRecorder` whose
+``job``/``queued``/``running`` envelope spans wrap the kernel spans in
+the job's ``trace.json`` artifact.
+
 Everything here is framework-free stdlib threading; the HTTP/JSON-RPC
 envelope lives in :mod:`repro.core.serve` and the operator's manual in
 ``SERVING.md``.
@@ -58,6 +69,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .metrics import MetricsRegistry
+from .telemetry import EventLog, metric_key, parse_metric_key
 
 #: Version stamp for job payloads and the ``job`` export block.
 JOBS_SCHEMA = "sdvbs-repro/serve-job/v1"
@@ -351,6 +363,20 @@ class Job:
     error: Optional[str] = None
     result: Optional[Dict[str, object]] = None
     artifacts: Dict[str, str] = field(default_factory=dict)
+    #: Request id of the submitting HTTP request, propagated into the
+    #: structured log and the lifecycle trace (None for direct submits).
+    request_id: Optional[str] = None
+    #: Submission stamp on the manager's monotonic clock (queue-wait
+    #: arithmetic; ``submitted`` stays wall-clock for humans).
+    submitted_mono: float = 0.0
+    #: Seconds spent queued before a worker picked the job up.
+    queue_wait: Optional[float] = None
+    #: Seconds the executor ran (set at completion or failure).
+    exec_seconds: Optional[float] = None
+    #: Lifecycle trace recorder, attached by the worker at pick-up;
+    #: executors thread it into run_benchmark/run_suite so kernel spans
+    #: nest inside the job's ``running`` envelope span.
+    trace: Optional[object] = None
 
     @property
     def rank(self) -> int:
@@ -370,6 +396,11 @@ class Job:
             "finished": self.finished,
             "error": self.error,
             "artifacts": sorted(self.artifacts),
+            "request_id": self.request_id,
+            "queue_wait_s": (None if self.queue_wait is None
+                             else round(self.queue_wait, 6)),
+            "exec_s": (None if self.exec_seconds is None
+                       else round(self.exec_seconds, 6)),
         }
 
 
@@ -419,7 +450,8 @@ class JobManager:
                  history_db: Optional[str] = None,
                  work_dir: Optional[str] = None,
                  executor: Optional[JobExecutor] = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 events: Optional[EventLog] = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_queue < 1:
@@ -445,7 +477,11 @@ class JobManager:
             work_dir = tempfile.mkdtemp(prefix="sdvbs-serve-")
         self.work_dir = work_dir
         self.executor: JobExecutor = executor or execute_job
+        # One shared registry across workers and handlers — threadsafe
+        # by construction, never opt-out (a dropped counter increment
+        # under concurrency is an observability bug).
         self.metrics = MetricsRegistry(threadsafe=True)
+        self.events = events if events is not None else EventLog()
         self._clock = clock
         self._cond = threading.Condition()
         self._jobs: Dict[str, Job] = {}
@@ -460,6 +496,54 @@ class JobManager:
         self._stopping = False
         self._mean_seconds = 0.0
         self._completed = 0
+        self._started_at: Optional[float] = None
+        self._state_tally: Dict[str, int] = {
+            state: 0 for state in (QUEUED, RUNNING) + TERMINAL_STATES}
+        # Pre-seed the catalog so every series exists from the first
+        # scrape (a counter that has never incremented still exposes 0).
+        for name in ("jobs.submitted", "jobs.accepted", "jobs.completed",
+                     "jobs.failed", "jobs.cancelled", "jobs.evicted",
+                     "rejected.queue_full", "rejected.backpressure",
+                     "rejected.rate_limited", "cache.hits", "cache.misses"):
+            self.metrics.inc(name, 0.0)
+        self.metrics.set_gauge("workers.total", self.workers)
+        self.metrics.set_gauge("workers.busy", 0)
+        self.metrics.set_gauge("server.saturated", 0)
+        self._refresh_state_gauges()
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+
+    def _refresh_state_gauges(self) -> None:
+        """Publish the per-state tally as labeled gauges (cheap, O(states))."""
+        for state, count in self._state_tally.items():
+            self.metrics.set_gauge(metric_key("jobs.state", state=state),
+                                   count)
+
+    def _transition(self, job: Job, new_state: str) -> None:
+        """Move ``job`` between lifecycle states; caller holds the lock.
+
+        Keeps the incremental per-state tally (and its gauges) exact
+        without an O(jobs) rescan, and emits one structured state-
+        transition event — the job-lifecycle audit trail an operator
+        greps when a job goes missing.
+        """
+        old_state = job.state
+        job.state = new_state
+        self._state_tally[old_state] -= 1
+        self._state_tally[new_state] = self._state_tally.get(new_state,
+                                                             0) + 1
+        self._refresh_state_gauges()
+        self.events.emit("job.state", id=job.id,
+                         type=str(job.spec.get("type")),
+                         state=new_state, previous=old_state,
+                         request_id=job.request_id)
+
+    def uptime(self) -> float:
+        """Seconds since :meth:`start` (0.0 before the pool exists)."""
+        if self._started_at is None:
+            return 0.0
+        return max(0.0, self._clock() - self._started_at)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -470,6 +554,8 @@ class JobManager:
             if self._threads:
                 return
             self._stopping = False
+            if self._started_at is None:
+                self._started_at = self._clock()
             for index in range(self.workers):
                 thread = threading.Thread(target=self._worker,
                                           name=f"sdvbs-worker-{index}",
@@ -501,7 +587,8 @@ class JobManager:
         return round(min(estimate, 600.0), 2)
 
     def submit(self, spec: object, client: str = "anonymous",
-               priority: str = "normal") -> Tuple[Job, bool]:
+               priority: str = "normal",
+               request_id: Optional[str] = None) -> Tuple[Job, bool]:
         """Validate, admit and enqueue one job.
 
         Returns ``(job, cached)``; ``cached`` means the spec's digest
@@ -521,6 +608,7 @@ class JobManager:
                 f"{', '.join(PRIORITIES)})", field="priority")
         normalized = validate_spec(spec)
         digest = spec_digest(normalized)
+        job_type = str(normalized.get("type"))
         with self._cond:
             self.metrics.inc("jobs.submitted")
             if self.rate_limit > 0:
@@ -531,6 +619,11 @@ class JobManager:
                 allowed, wait = bucket.take()
                 if not allowed:
                     self.metrics.inc("rejected.rate_limited")
+                    self.events.emit("job.rejected", level="warning",
+                                     reason="rate-limited", client=client,
+                                     type=job_type, digest=digest,
+                                     retry_after_s=round(wait, 3),
+                                     request_id=request_id)
                     raise RateLimitedError(
                         f"client {client!r} exceeded {self.rate_limit:g} "
                         "submissions/s",
@@ -543,20 +636,36 @@ class JobManager:
                 cached = self._jobs.get(cached_id)
                 if cached is not None and cached.state == DONE:
                     self.metrics.inc("cache.hits")
+                    self.events.emit("job.cache_hit", id=cached.id,
+                                     client=client, type=job_type,
+                                     digest=digest, request_id=request_id)
                     return cached, True
-            job = self._admit(normalized, digest, client, priority)
+            job = self._admit(normalized, digest, client, priority,
+                              request_id)
+            self.metrics.inc("cache.misses")
             self._cond.notify()
             return job, False
 
     def _admit(self, spec: Dict[str, object], digest: str, client: str,
-               priority: str) -> Job:
+               priority: str, request_id: Optional[str] = None) -> Job:
         """Queue-bound admission; caller holds the lock."""
         rank = PRIORITIES.index(priority)
+        job_type = str(spec.get("type"))
         # Watermark hysteresis: saturate at high, drain to low.
         if self._queued >= self.high_watermark:
+            if not self._saturated:
+                self.events.emit("server.saturated", level="warning",
+                                 queue_depth=self._queued,
+                                 high_watermark=self.high_watermark)
             self._saturated = True
+            self.metrics.set_gauge("server.saturated", 1)
         if self._saturated and rank > 0 and self._queued > self.low_watermark:
             self.metrics.inc("rejected.backpressure")
+            self.events.emit("job.rejected", level="warning",
+                             reason="backpressure", client=client,
+                             type=job_type, digest=digest,
+                             queue_depth=self._queued,
+                             request_id=request_id)
             raise QueueFullError(
                 f"queue saturated ({self._queued} queued >= high watermark "
                 f"{self.high_watermark}); only high-priority jobs are "
@@ -572,6 +681,11 @@ class JobManager:
             evicted = self._evict_for(rank) if rank == 0 else None
             if evicted is None:
                 self.metrics.inc("rejected.queue_full")
+                self.events.emit("job.rejected", level="warning",
+                                 reason="queue-full", client=client,
+                                 type=job_type, digest=digest,
+                                 queue_depth=self._queued,
+                                 request_id=request_id)
                 raise QueueFullError(
                     f"queue full ({self._queued}/{self.max_queue} jobs "
                     "queued)",
@@ -589,12 +703,19 @@ class JobManager:
             client=client,
             seq=self._seq,
             submitted=time.time(),
+            request_id=request_id,
+            submitted_mono=self._clock(),
         )
         self._jobs[job.id] = job
         heapq.heappush(self._heap, (job.rank, job.seq, job.id))
         self._queued += 1
+        self._state_tally[QUEUED] += 1
+        self._refresh_state_gauges()
         self.metrics.inc("jobs.accepted")
         self.metrics.set_gauge("queue.depth", self._queued)
+        self.events.emit("job.submit", id=job.id, type=job_type,
+                         client=client, priority=priority, digest=digest,
+                         queue_depth=self._queued, request_id=request_id)
         return job
 
     def _evict_for(self, rank: int) -> Optional[Job]:
@@ -608,13 +729,17 @@ class JobManager:
                 victim = job
         if victim is None:
             return None
-        victim.state = EVICTED
+        self._transition(victim, EVICTED)
         victim.finished = time.time()
         victim.error = ("evicted under queue pressure by a high-priority "
                         "submission")
         self._queued -= 1
         self.metrics.inc("jobs.evicted")
         self.metrics.set_gauge("queue.depth", self._queued)
+        self.events.emit("job.evicted", level="warning", id=victim.id,
+                         type=str(victim.spec.get("type")),
+                         priority=victim.priority,
+                         request_id=victim.request_id)
         return victim
 
     # ------------------------------------------------------------------
@@ -660,12 +785,15 @@ class JobManager:
                 raise NotCancellableError(
                     f"job {job_id} is {job.state}; only queued jobs can "
                     "be cancelled", state=job.state, job_id=job_id)
-            job.state = CANCELLED
+            self._transition(job, CANCELLED)
             job.finished = time.time()
             self._queued -= 1
             self._maybe_drain()
             self.metrics.inc("jobs.cancelled")
             self.metrics.set_gauge("queue.depth", self._queued)
+            self.events.emit("job.cancelled", id=job.id,
+                             type=str(job.spec.get("type")),
+                             request_id=job.request_id)
             return job.to_dict()
 
     def list_jobs(self, state: Optional[str] = None,
@@ -698,11 +826,47 @@ class JobManager:
 
     def counts(self) -> Dict[str, int]:
         with self._cond:
-            counts = {state: 0 for state in
-                      (QUEUED, RUNNING) + TERMINAL_STATES}
-            for job in self._jobs.values():
-                counts[job.state] = counts.get(job.state, 0) + 1
-            return counts
+            return dict(self._state_tally)
+
+    def latency_summaries(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Per-job-type queue-wait and exec-latency histogram summaries.
+
+        ``{"run": {"queue_wait": {...count/sum/p50/p95/p99...},
+        "exec": {...}}, ...}`` — the numbers ``sdvbs top`` renders and
+        the exact aggregates the Prometheus ``_count``/``_sum`` series
+        must agree with (both read the same bounded histograms).
+        """
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for key, histogram in self.metrics.histogram_snapshot().items():
+            base, labels = parse_metric_key(key)
+            if base == "job.queue_wait_seconds":
+                slot = "queue_wait"
+            elif base == "job.exec_seconds":
+                slot = "exec"
+            else:
+                continue
+            summary = histogram.summary()
+            out.setdefault(labels.get("type", "all"), {})[slot] = {
+                stat: summary[stat]
+                for stat in ("count", "sum", "mean", "min", "max",
+                             "p50", "p95", "p99")
+            }
+        return out
+
+    def health(self) -> Dict[str, object]:
+        """A cheap readiness snapshot for ``/healthz`` probes.
+
+        Deliberately lighter than :meth:`info` — no latency summaries,
+        no cache scan — because external probes poll this every few
+        seconds.
+        """
+        with self._cond:
+            return {
+                "queue_depth": self._queued,
+                "saturated": self._saturated,
+                "workers": {"total": self.workers, "busy": self._running},
+                "uptime_s": round(self.uptime(), 3),
+            }
 
     def info(self) -> Dict[str, object]:
         """The ``server.info`` body: config, counters, gauges, cache."""
@@ -714,6 +878,7 @@ class JobManager:
             saturated = self._saturated
             queued, running = self._queued, self._running
             mean_seconds = self._mean_seconds
+            jobs = dict(self._state_tally)
         counters = self.metrics.counters
         return {
             "config": {
@@ -732,11 +897,15 @@ class JobManager:
                 "saturated": int(saturated),
                 "mean_job_seconds": round(mean_seconds, 6),
             },
+            "workers": {"total": self.workers, "busy": running},
+            "uptime_s": round(self.uptime(), 3),
             "cache": {
                 "entries": cache_entries,
                 "hits": int(counters.get("cache.hits", 0)),
+                "misses": int(counters.get("cache.misses", 0)),
             },
-            "jobs": self.counts(),
+            "jobs": jobs,
+            "latency": self.latency_summaries(),
         }
 
     # ------------------------------------------------------------------
@@ -755,8 +924,60 @@ class JobManager:
         """Release the saturation latch once the backlog reaches low."""
         if self._saturated and self._queued <= self.low_watermark:
             self._saturated = False
+            self.metrics.set_gauge("server.saturated", 0)
+            self.events.emit("server.drained", queue_depth=self._queued,
+                             low_watermark=self.low_watermark)
+
+    def _job_trace(self, job: Job, pickup: float) -> Tuple[object, int, int]:
+        """Open the lifecycle trace envelope for one picked-up job.
+
+        The recorder's clock is the manager's (``time.perf_counter`` by
+        default — the same clock the kernel profiler stamps spans with,
+        so envelope and kernel spans nest consistently).  Layout::
+
+            job:<id>            submission ........... completion
+            ├─ queued           submission ... worker pick-up
+            └─ running          pick-up ............. completion
+               └─ app/kernels   (emitted by the executor, if any)
+        """
+        from .tracing import CATEGORY_LIFECYCLE, TraceRecorder
+
+        recorder = TraceRecorder()
+        recorder.set_context(job=job.id, type=str(job.spec.get("type")),
+                             priority=job.priority,
+                             request_id=job.request_id)
+        root = recorder.span_open(f"job:{job.id}", CATEGORY_LIFECYCLE,
+                                  job.submitted_mono)
+        queued_seq = recorder.span_open("queued", CATEGORY_LIFECYCLE,
+                                        job.submitted_mono)
+        recorder.span_close(queued_seq, pickup)
+        running_seq = recorder.span_open("running", CATEGORY_LIFECYCLE,
+                                         pickup)
+        job.trace = recorder
+        return recorder, running_seq, root
+
+    def _write_trace_artifact(self, job: Job, recorder: object
+                              ) -> Optional[Tuple[str, str]]:
+        """Render the lifecycle trace as the job's ``trace.json`` artifact."""
+        from .tracing import chrome_trace_json
+
+        spec = job.spec
+        manifest = _serve_manifest(
+            job, warmup=int(spec.get("warmup", 0) or 0),  # type: ignore[arg-type]
+            repeats=int(spec.get("repeats", 1) or 1),  # type: ignore[arg-type]
+            backend=spec.get("backend"))  # type: ignore[arg-type]
+        try:
+            return _write_artifact(
+                self, job, "trace.json",
+                chrome_trace_json(recorder.spans,  # type: ignore[attr-defined]
+                                  manifest))
+        except OSError as exc:  # pragma: no cover - disk full etc.
+            self.events.emit("job.trace_artifact_failed", level="error",
+                             id=job.id, error=str(exc))
+            return None
 
     def _worker(self) -> None:
+        worker_name = threading.current_thread().name
         while True:
             with self._cond:
                 job = self._next_job()
@@ -765,29 +986,68 @@ class JobManager:
                         return
                     self._cond.wait(timeout=0.2)
                     job = self._next_job()
-                job.state = RUNNING
+                pickup = self._clock()
+                self._transition(job, RUNNING)
                 job.started = time.time()
+                job.queue_wait = max(0.0, pickup - job.submitted_mono)
                 self._queued -= 1
                 self._running += 1
                 self._maybe_drain()
                 self.metrics.set_gauge("queue.depth", self._queued)
+                self.metrics.set_gauge("workers.busy", self._running)
+                job_type = str(job.spec.get("type"))
+            self.metrics.observe(
+                metric_key("job.queue_wait_seconds", type=job_type),
+                job.queue_wait)
+            self.events.emit("job.pickup", id=job.id, type=job_type,
+                             worker=worker_name,
+                             queue_wait_s=round(job.queue_wait, 6),
+                             request_id=job.request_id)
+            recorder, running_seq, root_seq = self._job_trace(job, pickup)
             started = self._clock()
             try:
                 payload, artifacts = self.executor(job, self)
             except Exception as exc:  # noqa: BLE001 — jobs fail, not the pool
+                elapsed = self._clock() - started
+                # Close any spans the executor left open (innermost
+                # first), then the envelope itself.
+                recorder.abandon_open(self._clock())
+                self.metrics.observe(
+                    metric_key("job.exec_seconds", type=job_type), elapsed)
+                self.events.emit("job.failed", level="error", id=job.id,
+                                 type=job_type, worker=worker_name,
+                                 error=f"{type(exc).__name__}: {exc}",
+                                 exec_s=round(elapsed, 6),
+                                 request_id=job.request_id)
                 with self._cond:
-                    job.state = FAILED
+                    self._transition(job, FAILED)
                     job.error = f"{type(exc).__name__}: {exc}"
                     job.finished = time.time()
+                    job.exec_seconds = elapsed
                     self._running -= 1
                     self.metrics.inc("jobs.failed")
+                    self.metrics.set_gauge("workers.busy", self._running)
                 continue
             elapsed = self._clock() - started
+            finish = self._clock()
+            recorder.span_close(running_seq, finish)
+            recorder.span_close(root_seq, finish)
+            artifacts = dict(artifacts)
+            trace_artifact = self._write_trace_artifact(job, recorder)
+            if trace_artifact is not None:
+                artifacts.setdefault(*trace_artifact)
+            self.metrics.observe(
+                metric_key("job.exec_seconds", type=job_type), elapsed)
+            self.events.emit("job.done", id=job.id, type=job_type,
+                             worker=worker_name, exec_s=round(elapsed, 6),
+                             artifacts=sorted(artifacts),
+                             request_id=job.request_id)
             with self._cond:
                 job.result = payload
-                job.artifacts = dict(artifacts)
-                job.state = DONE
+                job.artifacts = artifacts
+                self._transition(job, DONE)
                 job.finished = time.time()
+                job.exec_seconds = elapsed
                 self._running -= 1
                 self._completed += 1
                 # EMA over completed durations feeds the retry-after hint.
@@ -798,6 +1058,7 @@ class JobManager:
                 self._cache[job.digest] = job.id
                 self.metrics.inc("jobs.completed")
                 self.metrics.observe("job.seconds", elapsed)
+                self.metrics.set_gauge("workers.busy", self._running)
 
 
 # ----------------------------------------------------------------------
@@ -846,6 +1107,7 @@ def _execute_run(job: Job, manager: JobManager
         variants=list(range(int(spec["variants"]))),  # type: ignore[arg-type]
         warmup=int(spec["warmup"]),  # type: ignore[arg-type]
         repeats=int(spec["repeats"]),  # type: ignore[arg-type]
+        recorder=job.trace,  # type: ignore[arg-type]
         backend=spec["backend"],  # type: ignore[arg-type]
     )
     result.manifest = _serve_manifest(
@@ -892,27 +1154,25 @@ def _execute_trace(job: Job, manager: JobManager
                    ) -> Tuple[Dict[str, object], Dict[str, str]]:
     from .registry import get_benchmark
     from .runner import run_benchmark
-    from .tracing import TraceRecorder, chrome_trace_json
     from .types import InputSize
 
     spec = job.spec
-    with TraceRecorder() as recorder:
-        run = run_benchmark(
-            get_benchmark(str(spec["benchmark"])),
-            InputSize[str(spec["size"])],
-            int(spec["variant"]),  # type: ignore[arg-type]
-            recorder=recorder,
-            backend=spec["backend"],  # type: ignore[arg-type]
-        )
-        manifest = _serve_manifest(job, backend=spec["backend"])  # type: ignore[arg-type]
-        artifacts = dict([_write_artifact(
-            manager, job, "trace.json",
-            chrome_trace_json(recorder.spans, manifest))])
+    # The worker already opened the lifecycle envelope on ``job.trace``;
+    # recording into it nests the kernel spans under ``running``, and the
+    # worker writes the combined ``trace.json`` artifact at completion.
+    recorder = job.trace
+    run = run_benchmark(
+        get_benchmark(str(spec["benchmark"])),
+        InputSize[str(spec["size"])],
+        int(spec["variant"]),  # type: ignore[arg-type]
+        recorder=recorder,  # type: ignore[arg-type]
+        backend=spec["backend"],  # type: ignore[arg-type]
+    )
     return {
         "type": "trace",
-        "spans": recorder.events,
+        "spans": recorder.events,  # type: ignore[attr-defined]
         "traced_ms": round(run.total_seconds * 1000.0, 3),
-    }, artifacts
+    }, {}
 
 
 def _execute_flame(job: Job, manager: JobManager

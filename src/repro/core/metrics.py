@@ -199,6 +199,25 @@ class LogHistogram:
 
     # ------------------------------------------------------------------
 
+    def copy(self) -> "LogHistogram":
+        """An independent deep copy (same layout, counts and raw set).
+
+        The telemetry exposition renders from copies taken under the
+        registry lock, so a scrape never observes a histogram half-way
+        through an ``observe`` from another thread.
+        """
+        clone = LogHistogram(low=self.low, high=self.high,
+                             buckets_per_decade=self.buckets_per_decade,
+                             raw_limit=self.raw_limit)
+        clone._counts = list(self._counts)
+        clone._raw = list(self._raw)
+        clone.count = self.count
+        clone.total = self.total
+        clone.sum_sq = self.sum_sq
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
     def merge(self, other: "LogHistogram") -> None:
         """Fold ``other``'s observations into this histogram in place."""
         if (other.low != self.low or other.high != self.high
@@ -405,6 +424,22 @@ class MetricsRegistry:
         """The underlying bounded histogram (``None`` if never observed)."""
         with self._lock:
             return self._histograms.get(name)
+
+    def histogram_snapshot(self) -> Dict[str, LogHistogram]:
+        """Consistent deep copies of every histogram, keyed by name.
+
+        Taken under the registry lock so concurrent ``observe`` calls
+        can never produce a torn view — the telemetry layer's
+        ``/metrics`` exposition renders from this snapshot.
+        """
+        with self._lock:
+            return {name: histogram.copy()
+                    for name, histogram in self._histograms.items()}
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        """``LogHistogram.summary()`` per histogram (locked snapshot)."""
+        return {name: histogram.summary()
+                for name, histogram in self.histogram_snapshot().items()}
 
     # ------------------------------------------------------------------
     # Kernel work accounting (fed by the backend dispatcher)

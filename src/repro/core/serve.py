@@ -3,9 +3,17 @@
 :mod:`repro.core.jobs` holds the substance — spec validation, admission
 control, the worker pool, the result cache.  This module is the thin
 wire layer over it: a stdlib :class:`ThreadingHTTPServer` speaking
-JSON-RPC 2.0 on ``POST /`` plus two plain-HTTP conveniences:
+JSON-RPC 2.0 on ``POST /`` plus three plain-HTTP conveniences:
 
-* ``GET /healthz`` — liveness probe, ``200 {"ok": true}``.
+* ``GET /healthz`` — readiness probe.  Reports real state (queue
+  depth, saturation, worker occupancy, uptime) and flips to
+  ``503 {"ok": false, ...}`` the moment the server starts draining,
+  so external probes see degradation instead of a static ok.
+* ``GET /metrics`` — Prometheus text exposition (version 0.0.4) of
+  the manager's :class:`~repro.core.metrics.MetricsRegistry`:
+  counters, gauges, and latency histograms as cumulative
+  ``_bucket``/``_sum``/``_count`` series.  Rendered by
+  :func:`repro.core.telemetry.render_prometheus`.
 * ``GET /artifacts/<job id>/<name>`` — stream a completed job's
   artifact (suite export, chrome trace, flamegraph, HTML report,
   regression verdict) with a content type inferred from the name.
@@ -15,7 +23,19 @@ JSON-RPC 2.0 on ``POST /`` plus two plain-HTTP conveniences:
 
 Exposed JSON-RPC methods (full schemas in SERVING.md): ``job.submit``,
 ``job.status``, ``job.result``, ``job.cancel``, ``job.list``,
-``server.info``, ``server.shutdown``.
+``server.info``, ``server.metrics``, ``server.shutdown``.
+
+Request identity: every request gets an id — the ``X-Request-Id``
+header when the client sends one (truncated to 64 chars), else a
+generated hex token — echoed back as a response header, stamped onto
+the structured access-log event, and carried through ``job.submit``
+into the job record and its lifecycle trace spans.  The default
+handler's stderr chatter is silenced; instead each response emits one
+``http.access`` event into the manager's
+:class:`~repro.core.telemetry.EventLog` when ``--access-log`` is on
+(protocol errors log as ``http.error`` warnings unconditionally), and
+every response counts into ``http.requests``/``http.request_seconds``
+regardless.
 
 Error codes follow JSON-RPC 2.0 for protocol failures and carve out an
 application range for the admission/job layer:
@@ -47,6 +67,8 @@ from __future__ import annotations
 
 import json
 import threading
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
@@ -59,6 +81,12 @@ from .jobs import (
     RateLimitedError,
     SpecError,
     UnknownJobError,
+)
+from .telemetry import (
+    EventLog,
+    PROMETHEUS_CONTENT_TYPE,
+    metric_key,
+    render_prometheus,
 )
 
 #: Version stamp carried by every ``server.info`` response.
@@ -133,8 +161,9 @@ class BenchServer:
     """
 
     def __init__(self, manager: JobManager, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, access_log: bool = False) -> None:
         self.manager = manager
+        self.access_log = bool(access_log)
         server = self
 
         class Handler(_RpcHandler):
@@ -162,6 +191,9 @@ class BenchServer:
         """Workers + HTTP loop on background threads (idempotent)."""
         self.manager.start()
         if self._thread is None:
+            host, port = self.address
+            self.manager.events.emit("server.start", host=host, port=port,
+                                     workers=self.manager.workers)
             self._thread = threading.Thread(target=self.httpd.serve_forever,
                                             name="sdvbs-http", daemon=True)
             self._thread.start()
@@ -169,10 +201,15 @@ class BenchServer:
     def serve_forever(self) -> None:
         """Foreground server: blocks until :meth:`stop` or Ctrl-C."""
         self.manager.start()
+        host, port = self.address
+        self.manager.events.emit("server.start", host=host, port=port,
+                                 workers=self.manager.workers)
         self.httpd.serve_forever()
 
     def stop(self) -> None:
         """Stop accepting requests, then drain running jobs."""
+        if not self._shutting_down:
+            self.manager.events.emit("server.stopping", level="warning")
         self._shutting_down = True
         self.httpd.shutdown()
         self.httpd.server_close()
@@ -180,20 +217,50 @@ class BenchServer:
             self._thread.join(timeout=10.0)
             self._thread = None
         self.manager.stop()
+        self.manager.events.emit("server.stopped")
 
     def request_shutdown(self) -> None:
         """Async shutdown for ``server.shutdown`` (can't block the
         handler thread: ``httpd.shutdown`` waits for the serve loop,
         which waits for the handler)."""
         self._shutting_down = True
+        self.manager.events.emit("server.stopping", level="warning",
+                                 via="server.shutdown")
         threading.Thread(target=self.stop, name="sdvbs-shutdown",
                          daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # Plain-HTTP bodies
+
+    def health(self) -> Tuple[int, Dict[str, object]]:
+        """``/healthz`` status + body: real readiness, not a static ok."""
+        body: Dict[str, object] = {
+            "ok": not self._shutting_down,
+            "schema": SERVE_SCHEMA,
+            "shutting_down": self._shutting_down,
+        }
+        body.update(self.manager.health())
+        return (503 if self._shutting_down else 200), body
+
+    def metrics_payload(self) -> Dict[str, object]:
+        """The ``server.metrics`` body: the registry as JSON."""
+        registry = self.manager.metrics
+        events = self.manager.events
+        return {
+            "schema": SERVE_SCHEMA,
+            "counters": registry.counters,
+            "gauges": registry.gauges,
+            "histograms": registry.histogram_summaries(),
+            "events": {"emitted": events.emitted,
+                       "suppressed": events.suppressed},
+        }
 
     # ------------------------------------------------------------------
     # Method dispatch
 
     def dispatch(self, method: str, params: Dict[str, object],
-                 client: str) -> object:
+                 client: str,
+                 request_id: Optional[str] = None) -> object:
         """Execute one JSON-RPC method; raises typed JobError on refusal."""
         if method == "job.submit":
             if self._shutting_down:
@@ -202,6 +269,7 @@ class BenchServer:
                 params.get("spec"),
                 client=str(params.get("client") or client),
                 priority=str(params.get("priority", "normal")),
+                request_id=request_id,
             )
             payload = job.to_dict()
             payload["cached"] = cached
@@ -232,6 +300,8 @@ class BenchServer:
             info["schema"] = SERVE_SCHEMA
             info["shutting_down"] = self._shutting_down
             return info
+        if method == "server.metrics":
+            return self.metrics_payload()
         if method == "server.shutdown":
             self.request_shutdown()
             return {"stopping": True}
@@ -252,15 +322,70 @@ class _RpcHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "sdvbs-serve/1"
 
-    # The default handler logs every request to stderr; a paced load
-    # test would drown the operator's terminal.
+    # ------------------------------------------------------------------
+    # Logging: the default handler prints every request to stderr — a
+    # paced load test would drown the operator's terminal.  Instead the
+    # completion hook below feeds the structured EventLog (gated on
+    # --access-log) and the metrics registry (always).
+
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         return
+
+    def log_error(self, format: str, *args: object) -> None:  # noqa: A002
+        """Protocol-level failures land in the event log unconditionally."""
+        bench = getattr(self, "bench", None)
+        if bench is not None:
+            bench.manager.events.emit(
+                "http.error", level="warning", message=format % args,
+                request_id=getattr(self, "_request_id", None))
+
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        """One structured access event + metrics sample per response."""
+        bench = getattr(self, "bench", None)
+        if bench is None:
+            return
+        try:
+            status = int(code)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            status = 0
+        started = getattr(self, "_started", None)
+        duration = (time.perf_counter() - started
+                    if started is not None else None)
+        method = getattr(self, "command", None) or "?"
+        bench.manager.metrics.inc(
+            metric_key("http.requests", method=str(method),
+                       code=str(status)))
+        if duration is not None:
+            bench.manager.metrics.observe("http.request_seconds", duration)
+        if bench.access_log:
+            bench.manager.events.emit(
+                "http.access",
+                method=str(method),
+                path=getattr(self, "path", None),
+                status=status,
+                duration_ms=(round(duration * 1000.0, 3)
+                             if duration is not None else None),
+                client=str(self.client_address[0]),
+                request_id=getattr(self, "_request_id", None))
+
+    # ------------------------------------------------------------------
+    # Per-request identity
+
+    def _begin(self) -> str:
+        """Stamp the request start time and resolve its request id."""
+        self._started = time.perf_counter()
+        header = self.headers.get("X-Request-Id", "")
+        rid = "".join(ch for ch in header if ch.isprintable()).strip()[:64]
+        self._request_id = rid or uuid.uuid4().hex[:12]
+        return self._request_id
 
     def _send_json(self, status: int, body: Dict[str, object]) -> None:
         data = json.dumps(body, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        rid = getattr(self, "_request_id", None)
+        if rid:
+            self.send_header("X-Request-Id", rid)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
@@ -273,11 +398,25 @@ class _RpcHandler(BaseHTTPRequestHandler):
         return str(self.client_address[0])
 
     # ------------------------------------------------------------------
-    # GET: health + artifact streaming
+    # GET: health + metrics + artifact streaming
 
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        self._begin()
         if self.path == "/healthz":
-            self._send_json(200, {"ok": True, "schema": SERVE_SCHEMA})
+            status, body = self.bench.health()
+            self._send_json(status, body)
+            return
+        if self.path == "/metrics":
+            payload = render_prometheus(
+                self.bench.manager.metrics).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            rid = getattr(self, "_request_id", None)
+            if rid:
+                self.send_header("X-Request-Id", rid)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
             return
         if self.path.startswith("/artifacts/"):
             parts = self.path.split("/")
@@ -310,6 +449,7 @@ class _RpcHandler(BaseHTTPRequestHandler):
     # POST: JSON-RPC
 
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        self._begin()
         if self.path not in ("/", "/rpc"):
             self._send_json(404, {"error": f"no such path {self.path!r}"})
             return
@@ -351,13 +491,15 @@ class _RpcHandler(BaseHTTPRequestHandler):
                 INVALID_PARAMS, "params must be an object",
                 request_id=request_id))
             return
-        if self.bench._shutting_down and method != "server.info":
+        if (self.bench._shutting_down
+                and method not in ("server.info", "server.metrics")):
             self._send_json(503, rpc_error(
                 SHUTTING_DOWN, "server is shutting down",
                 request_id=request_id))
             return
         try:
-            result = self.bench.dispatch(method, params, self._client())
+            result = self.bench.dispatch(method, params, self._client(),
+                                         request_id=self._request_id)
         except LookupError:
             self._send_json(404, rpc_error(
                 METHOD_NOT_FOUND, f"unknown method {method!r}",
@@ -386,8 +528,16 @@ def make_server(host: str = "127.0.0.1", port: int = 0,
                 rate_limit: float = 0.0,
                 rate_burst: Optional[int] = None,
                 history_db: Optional[str] = None,
-                work_dir: Optional[str] = None) -> BenchServer:
-    """Construct a server + manager pair from flat CLI-style knobs."""
+                work_dir: Optional[str] = None,
+                access_log: bool = False,
+                log_file: Optional[str] = None) -> BenchServer:
+    """Construct a server + manager pair from flat CLI-style knobs.
+
+    ``log_file`` attaches a JSON-lines sink to the event log (one
+    object per line, appended and flushed per event); ``access_log``
+    additionally emits one ``http.access`` event per HTTP response.
+    """
+    events = EventLog(sink=log_file) if log_file else None
     manager = JobManager(
         workers=workers,
         max_queue=max_queue,
@@ -397,5 +547,7 @@ def make_server(host: str = "127.0.0.1", port: int = 0,
         rate_burst=rate_burst,
         history_db=history_db,
         work_dir=work_dir,
+        events=events,
     )
-    return BenchServer(manager, host=host, port=port)
+    return BenchServer(manager, host=host, port=port,
+                       access_log=access_log)

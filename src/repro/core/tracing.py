@@ -51,6 +51,11 @@ CATEGORY_APP = "app"
 #: Span category for one paced stream frame (wraps the app span; the
 #: gap between consecutive frame spans is the pacer's idle time).
 CATEGORY_FRAME = "frame"
+#: Span category for a served job's lifecycle envelope: a root span per
+#: job plus ``queued`` (submission -> worker pick-up) and ``running``
+#: (pick-up -> completion) children wrapping the app/kernel spans, so a
+#: job's trace shows where its wall time went *around* the kernels too.
+CATEGORY_LIFECYCLE = "lifecycle"
 
 
 @dataclass

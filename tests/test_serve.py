@@ -533,6 +533,294 @@ class TestHttpAdmission:
 # CLI surface
 
 
+# ----------------------------------------------------------------------
+# Telemetry: /metrics, /healthz readiness, request ids, access log, top
+
+
+@pytest.mark.usefixtures("server")
+class TestTelemetryHttp:
+    def submit(self, spec, **params):
+        status, body = rpc_call(self.url, "job.submit",
+                                {"spec": spec, **params})
+        assert status == 200, body
+        return body["result"]
+
+    def wait_http(self, job_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, body = rpc_call(self.url, "job.status", {"id": job_id})
+            if body["result"]["state"] in ("done", "failed"):
+                return body["result"]
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never finished")
+
+    def test_metrics_exposition_agrees_with_server_info(self):
+        from repro.core.telemetry import lint_exposition, parse_metric_key
+
+        sub = self.submit(RUN_SPEC)
+        self.wait_http(sub["id"])
+        with urllib.request.urlopen(self.url + "/metrics") as response:
+            assert response.headers["Content-Type"] \
+                == "text/plain; version=0.0.4; charset=utf-8"
+            text = response.read().decode("utf-8")
+        samples = lint_exposition(text)
+        # The catalog's load-bearing series all exist.
+        for required in ("sdvbs_queue_depth", "sdvbs_jobs_state",
+                         "sdvbs_cache_hits_total",
+                         "sdvbs_cache_misses_total",
+                         "sdvbs_workers_busy", "sdvbs_workers_total",
+                         "sdvbs_job_queue_wait_seconds_count",
+                         "sdvbs_job_exec_seconds_count",
+                         "sdvbs_job_queue_wait_seconds_bucket",
+                         "sdvbs_job_exec_seconds_bucket"):
+            assert required in samples, f"missing {required}"
+        # Cross-check: histogram _count/_sum match the latency block
+        # server.info reports (no jobs are running, so no drift).
+        _, body = rpc_call(self.url, "server.info")
+        latency = body["result"]["latency"]
+        for family in ("queue_wait", "exec"):
+            name = f"sdvbs_job_{family}_seconds"
+            for labels, value in samples[f"{name}_count"]:
+                summary = latency[labels["type"]][family]
+                assert value == summary["count"]
+            for labels, value in samples[f"{name}_sum"]:
+                summary = latency[labels["type"]][family]
+                assert value == pytest.approx(summary["sum"])
+        # Jobs-by-state gauges match the info tally.
+        states = {labels["state"]: value
+                  for labels, value in samples["sdvbs_jobs_state"]}
+        assert states == {k: float(v)
+                          for k, v in body["result"]["jobs"].items()}
+        # server.metrics returns the same data as JSON.
+        _, body = rpc_call(self.url, "server.metrics")
+        histograms = body["result"]["histograms"]
+        for key, summary in histograms.items():
+            base, labels = parse_metric_key(key)
+            if base == "job.exec_seconds":
+                assert summary["count"] \
+                    == latency[labels["type"]]["exec"]["count"]
+
+    def test_trace_artifact_has_lifecycle_envelope(self):
+        sub = self.submit(RUN_SPEC)
+        self.wait_http(sub["id"])
+        _, body = rpc_call(self.url, "job.result", {"id": sub["id"]})
+        artifact = body["result"]["artifacts"]["trace.json"]
+        with urllib.request.urlopen(self.url + artifact) as response:
+            doc = json.loads(response.read())
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        spans = {e["name"]: e for e in events}
+        job_span = spans[f"job:{sub['id']}"]
+        running = spans["running"]
+        queued = spans["queued"]
+        kernels = [e for e in events if e.get("cat") == "kernel"]
+        assert job_span["cat"] == "lifecycle"
+        assert kernels, "run trace must contain kernel spans"
+
+        def contains(outer, inner, slack=1.0):
+            return (outer["ts"] - slack <= inner["ts"]
+                    and inner["ts"] + inner["dur"]
+                    <= outer["ts"] + outer["dur"] + slack)
+
+        # queued and running partition the envelope; every kernel span
+        # sits inside running, which sits inside the job span.
+        assert contains(job_span, queued)
+        assert contains(job_span, running)
+        for kernel in kernels:
+            assert contains(running, kernel), kernel["name"]
+
+    def test_request_id_echo_and_propagation(self):
+        body = json.dumps({
+            "jsonrpc": "2.0", "id": 1, "method": "job.submit",
+            "params": {"spec": dict(RUN_SPEC)},
+        }).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + "/", data=body,
+            headers={"Content-Type": "application/json",
+                     "X-Request-Id": "trace-me-42"})
+        with urllib.request.urlopen(request) as response:
+            assert response.headers["X-Request-Id"] == "trace-me-42"
+            job = json.loads(response.read())["result"]
+        # Cached or fresh, the submission stamps the job record only
+        # when it created it; a fresh submit carries the id through.
+        if not job["cached"]:
+            assert job["request_id"] == "trace-me-42"
+        # Without a client-supplied header the server generates one.
+        with urllib.request.urlopen(self.url + "/healthz") as response:
+            assert response.headers["X-Request-Id"]
+
+    def test_top_cli_once_json(self, capsys):
+        sub = self.submit(RUN_SPEC)
+        self.wait_http(sub["id"])
+        assert main(["top", "--url", self.url, "--once", "--json"]) == 0
+        frame = json.loads(capsys.readouterr().out)
+        assert frame["workers"]["total"] == 2
+        assert frame["jobs"]["done"] >= 1
+        assert "run" in frame["latency"]
+        assert main(["top", "--url", self.url, "--once"]) == 0
+        text = capsys.readouterr().out
+        assert "sdvbs top" in text and "queue-wait" in text
+
+    def test_top_cli_unreachable_exit_2(self, capsys):
+        assert main(["top", "--url", "http://127.0.0.1:9",
+                     "--once"]) == 2
+        assert "sdvbs top" in capsys.readouterr().err
+
+
+class TestHealthzReadiness:
+    def test_healthz_reports_real_state_and_drains_to_503(self, tmp_path):
+        executor = GatedExecutor()
+        manager = JobManager(workers=1, max_queue=4,
+                             work_dir=str(tmp_path), executor=executor)
+        bench = BenchServer(manager, port=0)
+        bench.start()
+        try:
+            with urllib.request.urlopen(bench.url + "/healthz") as response:
+                body = json.loads(response.read())
+            assert body["ok"] is True
+            assert body["shutting_down"] is False
+            assert body["workers"] == {"total": 1, "busy": 0}
+            assert body["queue_depth"] == 0
+            assert body["saturated"] is False
+            assert body["uptime_s"] >= 0.0
+            # Flip to draining: probes must see 503 with ok false while
+            # read-only RPC (server.metrics) stays answerable.
+            bench._shutting_down = True
+            try:
+                urllib.request.urlopen(bench.url + "/healthz")
+                raise AssertionError("expected 503")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+                body = json.loads(exc.read())
+            assert body["ok"] is False and body["shutting_down"] is True
+            status, body = rpc_call(bench.url, "server.metrics")
+            assert status == 200 and "counters" in body["result"]
+            status, body = rpc_call(bench.url, "job.list")
+            assert status == 503
+        finally:
+            executor.gate.set()
+            bench.stop()
+
+
+class TestAccessLog:
+    def test_access_log_off_by_default_but_metrics_count(self, tmp_path):
+        bench = make_server(port=0, work_dir=str(tmp_path))
+        bench.start()
+        try:
+            urllib.request.urlopen(bench.url + "/healthz").read()
+            events = bench.manager.events.recent(event="http.access")
+            assert events == []
+            counters = bench.manager.metrics.counters
+            assert sum(v for k, v in counters.items()
+                       if k.startswith("http.requests")) >= 1
+        finally:
+            bench.stop()
+
+    def test_access_log_records_structured_events(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        bench = make_server(port=0, work_dir=str(tmp_path / "work"),
+                            access_log=True, log_file=str(log_path))
+        bench.start()
+        try:
+            request = urllib.request.Request(
+                bench.url + "/healthz",
+                headers={"X-Request-Id": "probe-7"})
+            urllib.request.urlopen(request).read()
+            deadline = time.monotonic() + 5.0
+            access = []
+            while time.monotonic() < deadline and not access:
+                access = bench.manager.events.recent(event="http.access")
+                time.sleep(0.01)
+            assert access, "expected an http.access event"
+            record = access[-1]
+            assert record["method"] == "GET"
+            assert record["path"] == "/healthz"
+            assert record["status"] == 200
+            assert record["request_id"] == "probe-7"
+            assert record["duration_ms"] >= 0.0
+            # The same record landed in the JSON-lines sink.
+            lines = [json.loads(line)
+                     for line in log_path.read_text().splitlines()]
+            assert any(r.get("event") == "http.access"
+                       and r.get("request_id") == "probe-7"
+                       for r in lines)
+        finally:
+            bench.stop()
+
+
+class TestManagerTelemetry:
+    """Job-lifecycle metrics and events on the manager itself."""
+
+    def test_registry_threadsafe_by_default(self, tmp_path):
+        # The serve regression: concurrent workers hammering one
+        # counter must never drop an increment.
+        manager = JobManager(workers=1, work_dir=str(tmp_path),
+                             executor=GatedExecutor())
+        barrier = threading.Barrier(8)
+
+        def pound():
+            barrier.wait()
+            for _ in range(500):
+                manager.metrics.inc("test.concurrent")
+
+        threads = [threading.Thread(target=pound) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert manager.metrics.counters["test.concurrent"] == 4000
+
+    def test_lifecycle_events_and_state_gauges(self, tmp_path):
+        executor = GatedExecutor()
+        executor.gate.set()
+        manager = JobManager(workers=1, work_dir=str(tmp_path),
+                             executor=executor)
+        manager.start()
+        try:
+            spec = {"type": "run", "benchmarks": ["disparity"],
+                    "sizes": ["SQCIF"], "repeats": 1}
+            job, _ = manager.submit(spec, request_id="rid-1")
+            wait_for(manager, job.id)
+            events = [r["event"] for r in manager.events.recent()]
+            for expected in ("job.submit", "job.pickup", "job.state",
+                             "job.done"):
+                assert expected in events, events
+            done = manager.events.recent(event="job.done")[-1]
+            assert done["id"] == job.id
+            assert done["request_id"] == "rid-1"
+            status = manager.status(job.id)
+            assert status["queue_wait_s"] >= 0.0
+            assert status["exec_s"] > 0.0
+            gauges = manager.metrics.gauges
+            assert gauges["jobs.state{state=done}"] == 1
+            assert gauges["jobs.state{state=queued}"] == 0
+            assert gauges["workers.busy"] == 0
+        finally:
+            manager.stop()
+
+    def test_failed_job_emits_and_counts(self, tmp_path):
+        def broken(job, mgr):
+            raise RuntimeError("kaboom")
+
+        manager = JobManager(workers=1, work_dir=str(tmp_path),
+                             executor=broken)
+        manager.start()
+        try:
+            spec = {"type": "run", "benchmarks": ["disparity"],
+                    "sizes": ["SQCIF"], "repeats": 1}
+            job, _ = manager.submit(spec)
+            status = wait_for(manager, job.id)
+            assert status["state"] == "failed"
+            failed = manager.events.recent(event="job.failed")
+            assert failed and "kaboom" in failed[-1]["error"]
+            assert failed[-1]["level"] == "error"
+            assert manager.metrics.gauges["jobs.state{state=failed}"] == 1
+            # exec latency is observed even for failures.
+            key = "job.exec_seconds{type=run}"
+            assert manager.metrics.log_histogram(key).count == 1
+        finally:
+            manager.stop()
+
+
 class TestServeCli:
     def test_nonpositive_args_exit_2(self, capsys):
         for argv in (["serve", "--workers", "0"],
