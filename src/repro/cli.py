@@ -25,9 +25,19 @@ Subcommands::
     sdvbs history record run.json   # ingest an export into the history DB
     sdvbs history list              # recorded commits + cell counts
     sdvbs history show <commit>     # per-cell medians of one commit
+    sdvbs profile record report.json    # ingest sampled profiles into the
+                                    # profile store, keyed by commit
+    sdvbs profile list              # recorded commits + sample counts
+    sdvbs profile show <commit>     # per-cell profiles of one commit
+    sdvbs profile diff A B --benchmark disparity --html diff.html
+                                    # differential flamegraph between two
+                                    # commits (collapsed ±usec, red/blue
+                                    # HTML, verdict JSON)
     sdvbs regress run.json          # noise-aware regression gate (exit 1
                                     # on confirmed >=k-sigma slowdowns,
-                                    # incl. streaming p50/p95/p99 cells)
+                                    # incl. streaming p50/p95/p99 cells);
+                                    # --attribute joins profile diffs so
+                                    # the verdict names guilty kernels
     sdvbs stream disparity --fps 10 --deadline-ms 100
                                     # paced frame streaming: latency
                                     # percentiles, jitter, sustained FPS,
@@ -373,6 +383,7 @@ def _run_report(args: argparse.Namespace, cli_argv: List[str]) -> int:
 
             with open(args.json, "w", encoding="utf-8") as handle:
                 handle.write(result_to_json(result))
+    _warn_truncated_sampling(result, "report")
     document = render_html_report(result, spans=spans,
                                   tolerance=args.tolerance,
                                   min_share=args.min_share)
@@ -518,6 +529,244 @@ def _run_history(args: argparse.Namespace) -> int:
         return 0
 
 
+def _warn_truncated_sampling(result, command: str) -> None:
+    """Surface ``stacks_truncated`` whenever a sampled export leaves us.
+
+    Per-kernel shares survive truncation (they are aggregated before the
+    cap) but rare leaf stacks do not; anyone diffing the folded profile
+    later deserves to know the tail was cut.
+    """
+    for run in result.runs:
+        if not run.sampling:
+            continue
+        truncated = int(run.sampling.get("stacks_truncated", 0))
+        if truncated > 0:
+            print(f"sdvbs {command}: warning: "
+                  f"{run.benchmark}@{run.size.name}: {truncated} distinct "
+                  "stack(s) dropped by the max-stacks export cap; "
+                  "per-kernel shares are exact but rare leaf stacks are "
+                  "missing from the folded profile", file=sys.stderr)
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """``sdvbs profile record/list/show/diff``: the profile store."""
+    from .core.history import format_created
+    from .core.profstore import entries_from_result, open_profiles
+    from .core.report import format_table
+
+    if args.profile_command == "diff":
+        return _run_profile_diff(args)
+    with open_profiles(args.db) as store:
+        if args.profile_command == "record":
+            result = _load_result(args.result, "profile record")
+            if result is None:
+                return 2
+            entries = entries_from_result(result, commit=args.commit)
+            if not entries:
+                print("sdvbs profile record: the export carries no "
+                      "sampling payloads — produce one with `sdvbs report "
+                      "--json` (live mode attaches a stack sampler per "
+                      "cell)", file=sys.stderr)
+                return 2
+            _warn_truncated_sampling(result, "profile record")
+            added = store.record_entries(entries)
+            total = len(store.entries())
+            print(f"recorded {len(added)} new profile(s) of "
+                  f"{len(entries)} sampled cell(s) into {args.db} "
+                  f"({total} total)")
+            if added:
+                print(f"commit {added[0].commit} backend "
+                      f"{added[0].backend} manifest "
+                      f"{added[0].manifest_hash}")
+            return 0
+        if args.profile_command == "list":
+            commits = store.commits()
+            if not commits:
+                print(f"profile store {args.db} is empty")
+                return 0
+            rows = []
+            for commit in commits:
+                entries = store.entries(commit=commit,
+                                        benchmark=args.benchmark)
+                if not entries:
+                    continue
+                benchmarks = sorted({e.benchmark for e in entries})
+                rows.append(
+                    (
+                        commit[:12],
+                        str(len(entries)),
+                        str(sum(e.samples for e in entries)),
+                        format_created(entries[-1].created),
+                        ", ".join(benchmarks[:4])
+                        + (", ..." if len(benchmarks) > 4 else ""),
+                    )
+                )
+            if not rows:
+                print(f"profile store {args.db}: no entries match "
+                      "the filters")
+                return 0
+            print(format_table(
+                ("Commit", "Profiles", "Samples", "Last recorded",
+                 "Benchmarks"),
+                rows,
+                title=f"Profile store ({args.db})",
+            ))
+            return 0
+        # show
+        matches = [c for c in store.commits()
+                   if c.startswith(args.commit)]
+        if not matches:
+            print(f"sdvbs profile show: no commit matching "
+                  f"{args.commit!r} in {args.db}", file=sys.stderr)
+            return 2
+        if len(matches) > 1:
+            print(f"sdvbs profile show: ambiguous prefix "
+                  f"{args.commit!r} "
+                  f"({', '.join(c[:12] for c in matches)})",
+                  file=sys.stderr)
+            return 2
+        rows = []
+        for entry in store.entries(commit=matches[0]):
+            profile = entry.sampled_profile()
+            shares = sorted(profile.shares().items(), key=lambda kv: -kv[1])
+            top = ", ".join(f"{k} {v:.0f}%" for k, v in shares[:3])
+            rows.append(
+                (
+                    entry.benchmark,
+                    entry.size,
+                    str(entry.samples),
+                    f"{profile.sampled_seconds * 1000:.1f} ms",
+                    entry.backend,
+                    top or "-",
+                )
+            )
+        print(format_table(
+            ("Benchmark", "Size", "Samples", "Sampled", "Backend",
+             "Top kernels"),
+            rows,
+            title=f"Profiles for commit {matches[0]}",
+        ))
+        return 0
+
+
+def _run_profile_diff(args: argparse.Namespace) -> int:
+    """``sdvbs profile diff``: differential flamegraph of two commits."""
+    from .core.flamediff import (
+        diff_profiles,
+        render_diff,
+        to_collapsed_delta,
+    )
+    from .core.profstore import open_profiles
+
+    with open_profiles(args.db) as store:
+        sides = []
+        for label in (args.baseline, args.candidate):
+            matches = [c for c in store.commits() if c.startswith(label)]
+            if not matches:
+                print(f"sdvbs profile diff: no commit matching "
+                      f"{label!r} in {args.db}", file=sys.stderr)
+                return 2
+            if len(matches) > 1:
+                print(f"sdvbs profile diff: ambiguous prefix {label!r} "
+                      f"({', '.join(c[:12] for c in matches)})",
+                      file=sys.stderr)
+                return 2
+            entry = store.latest_profile(matches[0], args.benchmark,
+                                         args.size.name,
+                                         backend=args.backend)
+            if entry is None:
+                print(f"sdvbs profile diff: commit {matches[0][:12]} has "
+                      f"no profile for {args.benchmark}@{args.size.name}",
+                      file=sys.stderr)
+                return 2
+            sides.append(entry)
+    baseline, candidate = sides
+    diff = diff_profiles(
+        baseline.sampled_profile(), candidate.sampled_profile(),
+        baseline_label=f"{baseline.commit[:12]}",
+        candidate_label=f"{candidate.commit[:12]}")
+    print(render_diff(diff, top=args.top))
+    wrote = []
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(to_collapsed_delta(diff))
+        wrote.append(args.out)
+    if args.html:
+        from .core.htmlreport import render_diff_html
+
+        title = (f"{args.benchmark}@{args.size.name}: "
+                 f"{baseline.commit[:12]} vs {candidate.commit[:12]}")
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_diff_html(diff, title=title))
+        wrote.append(args.html)
+    if args.json_out:
+        import json as json_module
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(json_module.dumps(diff.to_dict(top=args.top),
+                                           indent=2, sort_keys=True))
+        wrote.append(args.json_out)
+    if wrote:
+        print(f"wrote differential flamegraph to {' and '.join(wrote)}")
+    return 0
+
+
+def _attribute_report(args: argparse.Namespace, report, candidate_result,
+                      baseline_result, baseline_commit,
+                      commit) -> int:
+    """Join profile diffs onto the regress verdict (``--attribute``).
+
+    Export-vs-export mode diffs the two exports' own sampling payloads;
+    history-baseline mode takes the baseline from the profile store and
+    the candidate from the export's payloads when present (falling back
+    to the store).  Missing profiles degrade to a warning, never an
+    error — the timing verdict stands either way.
+    """
+    from .core.history import current_commit
+    from .core.profstore import (
+        cell_profiles,
+        open_profiles,
+        pair_lookup_from_results,
+    )
+    from .core.regress import STATUS_REGRESSION, attribute_regressions
+
+    regressed = [e for e in report.entries
+                 if e.status == STATUS_REGRESSION]
+    if not regressed:
+        return 0
+    if baseline_result is not None:
+        attributed = attribute_regressions(
+            report, pair_lookup_from_results(baseline_result,
+                                             candidate_result))
+    else:
+        candidate_commit = commit or current_commit()
+        candidate_cells = cell_profiles(candidate_result)
+        with open_profiles(args.profiles) as store:
+
+            def lookup(benchmark: str, size: str):
+                base = store.latest_profile(baseline_commit, benchmark,
+                                            size)
+                if base is None:
+                    return None
+                cand = candidate_cells.get((benchmark, size))
+                if cand is None:
+                    entry = store.latest_profile(candidate_commit,
+                                                 benchmark, size)
+                    cand = (entry.sampled_profile()
+                            if entry is not None else None)
+                if cand is None:
+                    return None
+                return base.sampled_profile(), cand
+
+            attributed = attribute_regressions(report, lookup)
+    if attributed < len(regressed):
+        print(f"sdvbs regress: warning: {len(regressed) - attributed} of "
+              f"{len(regressed)} regressed cell(s) have no profile pair "
+              "to attribute against (record sampled runs with "
+              "`sdvbs profile record`)", file=sys.stderr)
+    return 0
+
+
 def _run_regress(args: argparse.Namespace) -> int:
     """``sdvbs regress``: flag significant slowdowns vs a baseline."""
     from .core.history import current_commit, open_history
@@ -535,6 +784,9 @@ def _run_regress(args: argparse.Namespace) -> int:
         return 2
     candidate_cells = cells_from_result(candidate_result)
     candidate_cells.update(latency_cells_from_result(candidate_result))
+    baseline_result = None
+    baseline_commit = None
+    commit = None
     if args.against:
         baseline_result = _load_result(args.against, "regress")
         if baseline_result is None:
@@ -566,6 +818,11 @@ def _run_regress(args: argparse.Namespace) -> int:
         baseline_label=baseline_label,
         candidate_label=args.candidate,
     )
+    if args.attribute:
+        code = _attribute_report(args, report, candidate_result,
+                                 baseline_result, baseline_commit, commit)
+        if code != 0:
+            return code
     print(render_regressions(report))
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:
@@ -809,6 +1066,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             work_dir=args.work_dir,
             access_log=args.access_log,
             log_file=args.log_file,
+            profile_interval=args.profile_interval,
         )
     except (OSError, ValueError) as exc:
         print(f"sdvbs serve: {exc}", file=sys.stderr)
@@ -821,7 +1079,10 @@ def _run_serve(args: argparse.Namespace) -> int:
           + (f", rate limit {manager.rate_limit:g}/s" if manager.rate_limit
              else "")
           + (f", history {manager.history_db}" if manager.history_db
-             else ""))
+             else "")
+          + (f", profiling @ {manager.profiler.interval:g}s "
+             f"(~{manager.profiler.overhead.get('overhead_pct', 0.0):.2f}% "
+             "measured overhead)" if manager.profiler is not None else ""))
     print(f"artifacts under {manager.work_dir}; POST JSON-RPC 2.0 to / "
           "(methods and error codes in SERVING.md); GET /metrics for "
           "Prometheus; `sdvbs top` for a live view; Ctrl-C to stop"
@@ -1162,6 +1423,83 @@ def main(argv: Optional[List[str]] = None) -> int:
                              help="history store path "
                              "(default: history.sqlite)")
 
+    profile_parser = sub.add_parser(
+        "profile",
+        help="persistent profile store: record sampled folded-stack "
+        "profiles keyed by commit, inspect them, and render "
+        "differential flamegraphs between two commits",
+    )
+    profile_sub = profile_parser.add_subparsers(dest="profile_command",
+                                                required=True)
+    precord_parser = profile_sub.add_parser(
+        "record", help="ingest a sampled suite export's profiles into "
+        "the store (cells without sampling payloads are skipped)")
+    precord_parser.add_argument("result",
+                                help="sampled suite export (from `sdvbs "
+                                "report --json`)")
+    precord_parser.add_argument("--db", default="profiles.sqlite",
+                                metavar="PATH",
+                                help="profile store path; *.jsonl selects "
+                                "the append-only text backend "
+                                "(default: profiles.sqlite)")
+    precord_parser.add_argument("--commit", default=None, metavar="SHA",
+                                help="commit to record under (default: "
+                                "current git HEAD)")
+    plist_parser = profile_sub.add_parser(
+        "list", help="recorded commits with profile and sample counts")
+    plist_parser.add_argument("--db", default="profiles.sqlite",
+                              metavar="PATH",
+                              help="profile store path "
+                              "(default: profiles.sqlite)")
+    plist_parser.add_argument("--benchmark", default=None, metavar="SLUG",
+                              help="only count profiles of this benchmark")
+    pshow_parser = profile_sub.add_parser(
+        "show", help="per-cell profiles recorded for one commit")
+    pshow_parser.add_argument("commit",
+                              help="commit SHA (unambiguous prefix "
+                              "accepted)")
+    pshow_parser.add_argument("--db", default="profiles.sqlite",
+                              metavar="PATH",
+                              help="profile store path "
+                              "(default: profiles.sqlite)")
+    pdiff_parser = profile_sub.add_parser(
+        "diff", help="differential flamegraph between two commits' "
+        "stored profiles of one cell (collapsed ±usec text, red/blue "
+        "HTML, or verdict JSON)")
+    pdiff_parser.add_argument("baseline",
+                              help="baseline commit (unambiguous prefix "
+                              "accepted)")
+    pdiff_parser.add_argument("candidate",
+                              help="candidate commit (unambiguous prefix "
+                              "accepted)")
+    pdiff_parser.add_argument("--benchmark", required=True, metavar="SLUG",
+                              help="benchmark slug of the cell to diff")
+    pdiff_parser.add_argument("--size", type=_size_arg,
+                              default=InputSize.CIF, metavar="SIZE",
+                              help="SQCIF/QCIF/CIF/VGA, case-insensitive "
+                              "(default: CIF)")
+    pdiff_parser.add_argument("--db", default="profiles.sqlite",
+                              metavar="PATH",
+                              help="profile store path "
+                              "(default: profiles.sqlite)")
+    pdiff_parser.add_argument("--backend", choices=["ref", "fast"],
+                              default=None,
+                              help="only consider profiles measured with "
+                              "this kernel backend")
+    pdiff_parser.add_argument("--top", type=_int_arg("--top", 1),
+                              default=10, metavar="N",
+                              help="kernel/frame rows to print "
+                              "(default: 10)")
+    pdiff_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="write the signed collapsed-stack "
+                              "delta (`frame;frame ±usec`) to PATH")
+    pdiff_parser.add_argument("--html", default=None, metavar="PATH",
+                              help="write a self-contained red/blue "
+                              "differential flamegraph page to PATH")
+    pdiff_parser.add_argument("--json-out", default=None, metavar="PATH",
+                              help="write the machine-readable diff JSON "
+                              "to PATH")
+
     regress_parser = sub.add_parser(
         "regress",
         help="compare a run against a baseline and fail (exit 1) on "
@@ -1199,6 +1537,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     regress_parser.add_argument("--json-out", default=None, metavar="PATH",
                                 help="also write the machine-readable "
                                 "verdict JSON to PATH")
+    regress_parser.add_argument("--attribute", action="store_true",
+                                help="join a differential profile onto "
+                                "every confirmed regression: the verdict "
+                                "names the top kernels/frames responsible "
+                                "and their share of the slowdown (profiles "
+                                "from the two exports' sampling payloads, "
+                                "or from --profiles)")
+    regress_parser.add_argument("--profiles", default="profiles.sqlite",
+                                metavar="PATH",
+                                help="profile store consulted by "
+                                "--attribute when an export side carries "
+                                "no sampling payloads "
+                                "(default: profiles.sqlite)")
 
     stream_parser = sub.add_parser(
         "stream",
@@ -1398,6 +1749,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="append structured JSON-lines events "
                               "(job lifecycle, admission, access log) to "
                               "this file (default: in-memory ring only)")
+    serve_parser.add_argument("--profile-interval",
+                              type=_float_arg("--profile-interval", 0.0),
+                              default=0.0, metavar="SEC",
+                              help="continuous profiling: sample each "
+                              "worker's stack at this interval while it "
+                              "executes, merging into per-job-type "
+                              "aggregates (server.profile RPC, "
+                              "/artifacts/profile/<type>.collapsed); "
+                              "0 disables (default: 0; try 0.005)")
 
     top_parser = sub.add_parser(
         "top",
@@ -1453,6 +1813,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_verify_backends(args)
     if args.command == "history":
         return _run_history(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "regress":
         return _run_regress(args)
     if args.command == "stream":

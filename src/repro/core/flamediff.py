@@ -1,0 +1,290 @@
+"""Differential flamegraphs: aligned folded-stack diffs with attribution.
+
+A single flamegraph says where one build spends its time; SD-VBS's
+questions are comparative — did the ``fast`` backend actually shrink the
+SSD slice, which kernel absorbed the regression between two commits?
+This module aligns two :class:`~repro.core.sampling.SampledProfile`
+folded-stack sets on their exact label stacks (Brendan Gregg's
+``difffolded.pl`` model) and reports three views of the delta:
+
+* **per-stack** — candidate minus baseline seconds for every stack seen
+  on either side (absent = 0), exportable as collapsed ``±usec`` text
+  any flamegraph differential renderer accepts;
+* **per-frame** — *self* (stacks where the frame is the leaf) and
+  *inclusive* (stacks containing the frame, counted once per stack even
+  under recursion) seconds on each side, with deltas;
+* **per-kernel** — the Figure-3 attribution diff from each side's
+  ``kernel_seconds``, which is what ``sdvbs regress --attribute`` joins
+  into its verdict: the top kernels by positive delta and their share of
+  the total slowdown.
+
+The inputs can come from anywhere the key discipline reaches: two
+commits out of the profile store, a ``ref`` vs ``fast`` pair, or two
+sampled exports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from .sampling import SampledProfile, escape_frame
+
+#: Schema identifier stamped on serialized diffs.
+FLAMEDIFF_SCHEMA = "sdvbs-repro/flamediff/v1"
+
+
+@dataclass(frozen=True)
+class FrameDelta:
+    """One frame's self/inclusive seconds on both sides of the diff."""
+
+    frame: str
+    self_before: float
+    self_after: float
+    inclusive_before: float
+    inclusive_after: float
+
+    @property
+    def self_delta(self) -> float:
+        return self.self_after - self.self_before
+
+    @property
+    def inclusive_delta(self) -> float:
+        return self.inclusive_after - self.inclusive_before
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "frame": self.frame,  # type: ignore[dict-item]
+            "self_before": self.self_before,
+            "self_after": self.self_after,
+            "self_delta": self.self_delta,
+            "inclusive_before": self.inclusive_before,
+            "inclusive_after": self.inclusive_after,
+            "inclusive_delta": self.inclusive_delta,
+        }
+
+
+@dataclass(frozen=True)
+class KernelDelta:
+    """One attributed kernel's sampled seconds on both sides."""
+
+    kernel: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "kernel": self.kernel,  # type: ignore[dict-item]
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+        }
+
+
+def _frame_times(folded: Mapping[Tuple[str, ...], float]
+                 ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """(self seconds, inclusive seconds) per frame label.
+
+    Self time charges the stack's leaf; inclusive time charges every
+    *distinct* frame in the stack, so a recursive frame is counted once
+    per stack rather than once per occurrence (double-charging recursion
+    would let a frame's inclusive time exceed the profile total).
+    """
+    self_s: Dict[str, float] = {}
+    incl_s: Dict[str, float] = {}
+    for stack, seconds in folded.items():
+        if not stack:
+            continue
+        leaf = stack[-1]
+        self_s[leaf] = self_s.get(leaf, 0.0) + seconds
+        for frame in set(stack):
+            incl_s[frame] = incl_s.get(frame, 0.0) + seconds
+    return self_s, incl_s
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """The aligned diff of two sampled profiles (candidate - baseline)."""
+
+    baseline_label: str
+    candidate_label: str
+    baseline_seconds: float
+    candidate_seconds: float
+    #: Candidate minus baseline sampled seconds per aligned stack;
+    #: stacks present on only one side align against zero.
+    stacks: Mapping[Tuple[str, ...], float]
+    frames: Tuple[FrameDelta, ...]
+    kernels: Tuple[KernelDelta, ...]
+
+    @property
+    def delta_seconds(self) -> float:
+        return self.candidate_seconds - self.baseline_seconds
+
+    def top_frames(self, limit: int = 5,
+                   regressions_only: bool = False) -> List[FrameDelta]:
+        """Frames by self-time delta magnitude (largest slowdown first).
+
+        Self time, not inclusive: every root frame of a slowed call tree
+        inherits the full inclusive delta, so ranking by inclusive time
+        would name ``main`` as the top regression.  Self time lands on
+        the frame whose code actually ran longer.
+        """
+        rows = [f for f in self.frames
+                if f.self_delta > 0.0 or
+                (not regressions_only and f.self_delta != 0.0)]
+        rows.sort(key=lambda f: (-abs(f.self_delta), f.frame))
+        return rows[:limit]
+
+    def top_kernels(self, limit: int = 5,
+                    regressions_only: bool = False) -> List[KernelDelta]:
+        """Kernels by attribution delta magnitude (slowdowns first)."""
+        rows = [k for k in self.kernels
+                if k.delta > 0.0 or
+                (not regressions_only and k.delta != 0.0)]
+        rows.sort(key=lambda k: (-abs(k.delta), k.kernel))
+        return rows[:limit]
+
+    def to_dict(self, top: int = 10) -> Dict[str, object]:
+        return {
+            "schema": FLAMEDIFF_SCHEMA,
+            "baseline": self.baseline_label,
+            "candidate": self.candidate_label,
+            "baseline_seconds": self.baseline_seconds,
+            "candidate_seconds": self.candidate_seconds,
+            "delta_seconds": self.delta_seconds,
+            "kernels": [k.to_dict() for k in self.top_kernels(top)],
+            "frames": [f.to_dict() for f in self.top_frames(top)],
+        }
+
+
+def diff_profiles(baseline: SampledProfile, candidate: SampledProfile,
+                  baseline_label: str = "baseline",
+                  candidate_label: str = "candidate") -> ProfileDiff:
+    """Align two profiles' folded stacks and diff every view of them."""
+    stacks: Dict[Tuple[str, ...], float] = {}
+    for stack in set(baseline.folded) | set(candidate.folded):
+        stacks[stack] = (candidate.folded.get(stack, 0.0)
+                         - baseline.folded.get(stack, 0.0))
+    self_b, incl_b = _frame_times(baseline.folded)
+    self_a, incl_a = _frame_times(candidate.folded)
+    frames = tuple(
+        FrameDelta(
+            frame=frame,
+            self_before=self_b.get(frame, 0.0),
+            self_after=self_a.get(frame, 0.0),
+            inclusive_before=incl_b.get(frame, 0.0),
+            inclusive_after=incl_a.get(frame, 0.0),
+        )
+        for frame in sorted(set(incl_b) | set(incl_a))
+    )
+    kernels = tuple(
+        KernelDelta(
+            kernel=kernel,
+            before=baseline.kernel_seconds.get(kernel, 0.0),
+            after=candidate.kernel_seconds.get(kernel, 0.0),
+        )
+        for kernel in sorted(set(baseline.kernel_seconds)
+                             | set(candidate.kernel_seconds))
+    )
+    return ProfileDiff(
+        baseline_label=baseline_label,
+        candidate_label=candidate_label,
+        baseline_seconds=baseline.sampled_seconds,
+        candidate_seconds=candidate.sampled_seconds,
+        stacks=stacks,
+        frames=frames,
+        kernels=kernels,
+    )
+
+
+def to_collapsed_delta(diff: ProfileDiff) -> str:
+    """Signed collapsed-stack text: ``frame;frame ±usec`` per stack.
+
+    The weight is the candidate-minus-baseline delta in integer
+    microseconds with an explicit sign (``+`` grew, ``-`` shrank);
+    zero-delta stacks are omitted.  Sorted for determinism, same frame
+    escaping as the single-profile exporter.
+    """
+    lines = []
+    for stack, delta in sorted(diff.stacks.items()):
+        micros = int(round(delta * 1e6))
+        if micros == 0:
+            continue
+        joined = ";".join(escape_frame(label) for label in stack)
+        lines.append(f"{joined} {micros:+d}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_diff(diff: ProfileDiff, top: int = 10) -> str:
+    """Fixed-width text table of the diff's kernel and frame deltas."""
+    lines = [
+        f"profile diff: {diff.baseline_label} -> {diff.candidate_label}",
+        f"  sampled seconds: {diff.baseline_seconds:.4f} -> "
+        f"{diff.candidate_seconds:.4f} ({diff.delta_seconds:+.4f})",
+        "",
+        f"  {'kernel':<24} {'before(s)':>10} {'after(s)':>10} {'delta':>10}",
+    ]
+    for row in diff.top_kernels(top):
+        lines.append(
+            f"  {row.kernel:<24} {row.before:>10.4f} {row.after:>10.4f} "
+            f"{row.delta:>+10.4f}"
+        )
+    lines.append("")
+    lines.append(
+        f"  {'frame (self time)':<44} {'before(s)':>10} {'after(s)':>10} "
+        f"{'delta':>10}"
+    )
+    for frame_row in diff.top_frames(top):
+        label = frame_row.frame
+        if len(label) > 44:
+            label = label[:41] + "..."
+        lines.append(
+            f"  {label:<44} {frame_row.self_before:>10.4f} "
+            f"{frame_row.self_after:>10.4f} {frame_row.self_delta:>+10.4f}"
+        )
+    return "\n".join(lines)
+
+
+def attribute_delta(diff: ProfileDiff, top: int = 3) -> Dict[str, object]:
+    """Attribution block for a regression verdict: who owns the slowdown.
+
+    Ranks kernels (and frames, as supporting evidence) by positive
+    delta and reports each one's share of the total *slowdown* — the
+    sum of positive kernel deltas, not the net delta, so an offsetting
+    improvement elsewhere cannot push a kernel's share past 100%.
+    Returns an empty-kernel block when nothing slowed down.
+    """
+    slower = [k for k in diff.kernels if k.delta > 0.0]
+    slower.sort(key=lambda k: (-k.delta, k.kernel))
+    total_slowdown = sum(k.delta for k in slower)
+    kernels = [
+        {
+            "kernel": k.kernel,
+            "before_seconds": k.before,
+            "after_seconds": k.after,
+            "delta_seconds": k.delta,
+            "share_of_delta": (k.delta / total_slowdown
+                               if total_slowdown > 0.0 else 0.0),
+        }
+        for k in slower[:top]
+    ]
+    frames = [
+        {
+            "frame": f.frame,
+            "self_delta_seconds": f.self_delta,
+            "inclusive_delta_seconds": f.inclusive_delta,
+        }
+        for f in diff.top_frames(top, regressions_only=True)
+    ]
+    return {
+        "baseline": diff.baseline_label,
+        "candidate": diff.candidate_label,
+        "delta_seconds": diff.delta_seconds,
+        "slowdown_seconds": total_slowdown,
+        "kernels": kernels,
+        "frames": frames,
+    }

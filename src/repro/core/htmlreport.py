@@ -28,6 +28,7 @@ import html
 import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from .flamediff import ProfileDiff
 from .sampling import cross_check
 from .tracing import CATEGORY_KERNEL, TraceSpan
 from .types import NON_KERNEL_WORK, SuiteResult
@@ -41,7 +42,7 @@ _CATEGORICAL_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500",
 
 #: Section ids the golden-structure test asserts on.
 SECTION_IDS = ("manifest", "occupancy", "roofline", "latency",
-               "agreement", "trace")
+               "agreement", "flamediff", "trace")
 
 
 def _css() -> str:
@@ -107,6 +108,20 @@ td.num, th.num {{ text-align: right; }}
   width: 10px; height: 10px; border-radius: 3px; display: inline-block;
 }}
 .verdict-diverges {{ color: var(--c7); font-weight: 600; }}
+td.delta-pos {{ color: var(--c7); }}
+td.delta-neg {{ color: var(--c0); }}
+.diffbar {{
+  display: flex; height: 10px; width: 160px; align-items: stretch;
+}}
+.diffbar .half {{ position: relative; width: 50%; }}
+.diffbar .fill-pos {{
+  position: absolute; left: 0; height: 100%; border-radius: 0 3px 3px 0;
+  background: var(--c7);
+}}
+.diffbar .fill-neg {{
+  position: absolute; right: 0; height: 100%; border-radius: 3px 0 0 3px;
+  background: var(--c0);
+}}
 svg .axisline {{ stroke: var(--gridline); stroke-width: 1; }}
 svg .grid {{ stroke: var(--gridline); stroke-width: 0.5; }}
 svg .pt {{ fill: var(--c0); }}
@@ -463,6 +478,14 @@ def _agreement_section(result: SuiteResult, tolerance: float,
         parts.append(f"<h3>{_esc(run.benchmark)} @ {_esc(run.size.name)} "
                      f"&mdash; {samples} samples, "
                      f"{'PASS' if check.ok else 'FAIL'}</h3>")
+        truncated = int(run.sampling.get("stacks_truncated", 0))
+        if truncated > 0:
+            parts.append(
+                f'<p class="note">&#9888; {truncated} distinct stack(s) '
+                "were dropped when this profile was exported "
+                "(<code>max_stacks</code> cap); per-kernel shares are "
+                "exact, but rare leaf stacks are missing from the "
+                "folded profile.</p>")
         parts.append("<table><thead><tr><th>Kernel</th>"
                      '<th class="num">Instrumented %</th>'
                      '<th class="num">Sampled %</th>'
@@ -507,6 +530,89 @@ def _agreement_section(result: SuiteResult, tolerance: float,
     return "\n".join(parts)
 
 
+def _diff_bar(delta: float, scale: float) -> str:
+    """A diverging red/blue bar: right of center grew, left shrank."""
+    if scale <= 0.0 or delta == 0.0:
+        return '<div class="diffbar"></div>'
+    width = min(100.0, 100.0 * abs(delta) / scale)
+    if delta > 0:
+        return ('<div class="diffbar"><div class="half"></div>'
+                f'<div class="half"><div class="fill-pos" '
+                f'style="width:{width:.1f}%"></div></div></div>')
+    return ('<div class="diffbar"><div class="half">'
+            f'<div class="fill-neg" style="width:{width:.1f}%"></div>'
+            '</div><div class="half"></div></div>')
+
+
+def _delta_cell(delta: float, unit: str = "s") -> str:
+    """A signed delta table cell wearing red (grew) or blue (shrank)."""
+    cls = ("delta-pos" if delta > 0
+           else "delta-neg" if delta < 0 else "")
+    attr = f' class="num {cls}"' if cls else ' class="num"'
+    return f"<td{attr}>{delta:+.4f}{unit}</td>"
+
+
+def _flamediff_section(diff: Optional[ProfileDiff], top: int = 10) -> str:
+    """Red/blue differential flamegraph summary (candidate - baseline)."""
+    parts = ['<section id="flamediff">',
+             "<h2>Differential flamegraph</h2>"]
+    if diff is None:
+        parts.append('<p class="note">No profile diff attached to this '
+                     "report (render one with <code>sdvbs profile diff "
+                     "&hellip; --html</code>).</p>")
+        parts.append("</section>")
+        return "\n".join(parts)
+    parts.append(
+        '<p class="note">Sampled time per kernel and frame, '
+        f"<strong>{_esc(diff.baseline_label)}</strong> &rarr; "
+        f"<strong>{_esc(diff.candidate_label)}</strong>: "
+        f"{diff.baseline_seconds:.4f}s &rarr; "
+        f"{diff.candidate_seconds:.4f}s "
+        f"({diff.delta_seconds:+.4f}s). "
+        '<span style="color:var(--c7)">Red grew</span>, '
+        '<span style="color:var(--c0)">blue shrank</span>.</p>')
+    kernel_rows = diff.top_kernels(top)
+    frame_rows = diff.top_frames(top)
+    scale = max(
+        [abs(k.delta) for k in kernel_rows]
+        + [abs(f.self_delta) for f in frame_rows] + [0.0])
+    if kernel_rows:
+        parts.append("<h3>Kernels</h3>")
+        parts.append("<table><thead><tr><th>Kernel</th>"
+                     '<th class="num">Before s</th>'
+                     '<th class="num">After s</th>'
+                     '<th class="num">&Delta;</th><th></th>'
+                     "</tr></thead><tbody>")
+        for kernel in kernel_rows:
+            parts.append(
+                f"<tr><td>{_esc(kernel.kernel)}</td>"
+                f'<td class="num">{kernel.before:.4f}</td>'
+                f'<td class="num">{kernel.after:.4f}</td>'
+                + _delta_cell(kernel.delta)
+                + f"<td>{_diff_bar(kernel.delta, scale)}</td></tr>")
+        parts.append("</tbody></table>")
+    if frame_rows:
+        parts.append("<h3>Frames (self time)</h3>")
+        parts.append("<table><thead><tr><th>Frame</th>"
+                     '<th class="num">Before s</th>'
+                     '<th class="num">After s</th>'
+                     '<th class="num">&Delta;</th><th></th>'
+                     "</tr></thead><tbody>")
+        for frame in frame_rows:
+            parts.append(
+                f"<tr><td>{_esc(frame.frame)}</td>"
+                f'<td class="num">{frame.self_before:.4f}</td>'
+                f'<td class="num">{frame.self_after:.4f}</td>'
+                + _delta_cell(frame.self_delta)
+                + f"<td>{_diff_bar(frame.self_delta, scale)}</td></tr>")
+        parts.append("</tbody></table>")
+    if not kernel_rows and not frame_rows:
+        parts.append('<p class="note">The two profiles are '
+                     "identical.</p>")
+    parts.append("</section>")
+    return "\n".join(parts)
+
+
 def _trace_section(spans: Optional[Iterable[TraceSpan]],
                    limit: int) -> str:
     parts = ['<section id="trace">',
@@ -540,6 +646,32 @@ def _trace_section(spans: Optional[Iterable[TraceSpan]],
     return "\n".join(parts)
 
 
+def render_diff_html(diff: ProfileDiff,
+                     title: str = "SD-VBS repro differential "
+                     "flamegraph") -> str:
+    """A standalone one-section page for ``sdvbs profile diff --html``.
+
+    Same design tokens and offline guarantees as the full report —
+    just the red/blue differential section, for when there is no
+    suite export to wrap it in.
+    """
+    body = "\n".join([
+        f"<h1>{_esc(title)}</h1>",
+        '<p class="note">Generated by the sdvbs CLI; inline markup '
+        "with no external references.</p>",
+        _flamediff_section(diff),
+    ])
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>\n{_css()}</style>\n</head>\n<body>\n{body}\n"
+        "</body>\n</html>\n"
+    )
+
+
 def render_html_report(
     result: SuiteResult,
     spans: Optional[Iterable[TraceSpan]] = None,
@@ -547,6 +679,7 @@ def render_html_report(
     tolerance: float = 5.0,
     min_share: float = 10.0,
     top_spans: int = 10,
+    diff: Optional[ProfileDiff] = None,
 ) -> str:
     """Render a suite result into one self-contained HTML document.
 
@@ -554,7 +687,10 @@ def render_html_report(
     slowest-invocations table (absent for rehydrated exports, which do
     not carry event-level traces).  ``tolerance``/``min_share``
     parameterize the agreement gate exactly like
-    :func:`~repro.core.sampling.cross_check`.
+    :func:`~repro.core.sampling.cross_check`.  ``diff`` optionally
+    attaches a differential flamegraph (red grew / blue shrank)
+    between two sampled profiles; without one the section renders a
+    pointer to ``sdvbs profile diff``.
 
     The output references no external resource of any kind — no
     scripts, fonts, images or stylesheet links — so it renders
@@ -569,6 +705,7 @@ def render_html_report(
         _roofline_section(result),
         _latency_section(result),
         _agreement_section(result, tolerance, min_share),
+        _flamediff_section(diff),
         _trace_section(spans, top_spans),
     ])
     return (

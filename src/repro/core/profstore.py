@@ -1,0 +1,426 @@
+"""Persistent profile store: folded stacks, keyed like history rows.
+
+The history store (:mod:`~repro.core.history`) answers "how fast was
+commit X?"; this store answers "*where did commit X spend its time?*" —
+without it a regression verdict can flag a slowdown but never attribute
+it.  Each row is one grid cell's :meth:`SampledProfile.to_dict` payload
+(folded stacks, per-kernel seconds, sample counts) under the exact key
+discipline history uses:
+
+* **commit** — revision measured (``git rev-parse HEAD`` or
+  ``"unknown"``).
+* **benchmark / size** — one suite grid cell; per-variant profiles are
+  merged (:meth:`SampledProfile.merge` is order-independent) into one
+  cell profile, matching how history aggregates variant timings.
+* **backend** — ``ref`` and ``fast`` flamegraphs are different programs;
+  they never share a key.
+* **manifest hash** — re-recording the same export is a no-op
+  (append-only store, idempotent ingest).
+
+Backends mirror history's: :class:`SqliteProfiles` (default; the payload
+rides as one JSON text column beside the key) and
+:class:`JsonlProfiles` (append-only text fallback), selected by
+:func:`open_profiles`.  The differential layer
+(:mod:`~repro.core.flamediff`) and ``sdvbs regress --attribute`` read
+profiles back out by commit pair.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .history import (
+    created_sort_key,
+    current_commit,
+    manifest_hash,
+)
+from .sampling import SampledProfile
+from .types import InputSize, SuiteResult
+
+#: Schema identifier stamped on every JSONL profile line.
+PROFILE_SCHEMA = "sdvbs-repro/profile/v1"
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One recorded (commit, benchmark, size, backend, manifest) profile.
+
+    ``profile`` is the :meth:`SampledProfile.to_dict` payload verbatim —
+    the store neither re-truncates nor reinterprets it, so a round-trip
+    through either backend is exact.
+    """
+
+    commit: str
+    benchmark: str
+    size: str
+    backend: str
+    manifest_hash: str
+    created: str
+    profile: Dict[str, object] = field(compare=False)
+
+    @property
+    def key(self) -> Tuple[str, str, str, str, str]:
+        return (self.commit, self.benchmark, self.size, self.backend,
+                self.manifest_hash)
+
+    @property
+    def samples(self) -> int:
+        return int(self.profile.get("samples", 0))  # type: ignore[arg-type]
+
+    def sampled_profile(self) -> SampledProfile:
+        """Deserialize the stored payload back into a live profile."""
+        return SampledProfile.from_dict(self.profile)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "commit": self.commit,
+            "benchmark": self.benchmark,
+            "size": self.size,
+            "backend": self.backend,
+            "manifest_hash": self.manifest_hash,
+            "created": self.created,
+            "profile": self.profile,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ProfileEntry":
+        profile = payload["profile"]
+        if not isinstance(profile, dict):
+            raise TypeError("profile payload must be an object")
+        return cls(
+            commit=str(payload["commit"]),
+            benchmark=str(payload["benchmark"]),
+            size=str(payload["size"]),
+            backend=str(payload["backend"]),
+            manifest_hash=str(payload["manifest_hash"]),
+            created=str(payload["created"]),
+            profile=profile,
+        )
+
+
+def cell_profiles(result: SuiteResult
+                  ) -> Dict[Tuple[str, str], SampledProfile]:
+    """Merged per-(benchmark, size name) profiles of a sampled result.
+
+    Only runs carrying a ``sampling`` payload contribute (``sdvbs
+    report``'s live mode and ``run_benchmark(..., sampler=...)`` attach
+    one; plain ``sdvbs run`` exports do not and simply yield no cells).
+    Multiple variants of one cell merge into a single profile,
+    mirroring history's per-cell aggregation.
+    """
+    cells: Dict[Tuple[str, str], SampledProfile] = {}
+    for slug in result.benchmarks():
+        for size in InputSize:
+            payloads = [
+                run.sampling for run in result.runs
+                if run.benchmark == slug and run.size == size
+                and run.sampling
+            ]
+            if not payloads:
+                continue
+            cells[(slug, size.name)] = SampledProfile.merged(
+                SampledProfile.from_dict(payload) for payload in payloads
+            )
+    return cells
+
+
+def entries_from_result(result: SuiteResult,
+                        commit: Optional[str] = None,
+                        max_stacks: int = 500) -> List[ProfileEntry]:
+    """Extract per-cell profile entries from a sampled suite result.
+
+    ``created`` is the measurement time from the manifest, as in
+    history ingest; backend and manifest hash degrade the same way.
+    """
+    import time
+
+    if commit is None:
+        commit = current_commit()
+    manifest = result.manifest or {}
+    measurement = manifest.get("measurement", {})
+    backend = "fast"
+    if isinstance(measurement, dict) and measurement.get("backend"):
+        backend = str(measurement["backend"])
+    digest = manifest_hash(result.manifest)
+    created = manifest.get("created")
+    if not isinstance(created, str) or not created:
+        created = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    return [
+        ProfileEntry(
+            commit=commit,
+            benchmark=slug,
+            size=size_name,
+            backend=backend,
+            manifest_hash=digest,
+            created=created,
+            profile=merged.to_dict(max_stacks=max_stacks),
+        )
+        for (slug, size_name), merged in sorted(cell_profiles(result).items())
+    ]
+
+
+#: A (baseline profile, candidate profile) pair, or None when either
+#: side is missing — the regression-attribution lookup contract.
+ProfilePair = Optional[Tuple[SampledProfile, SampledProfile]]
+
+
+def pair_lookup_from_results(baseline: SuiteResult, candidate: SuiteResult
+                             ) -> Callable[[str, str], ProfilePair]:
+    """Attribution lookup over two sampled exports (export-vs-export)."""
+    base = cell_profiles(baseline)
+    cand = cell_profiles(candidate)
+
+    def lookup(benchmark: str, size: str) -> ProfilePair:
+        key = (benchmark, size)
+        if key in base and key in cand:
+            return base[key], cand[key]
+        return None
+
+    return lookup
+
+
+def pair_lookup_from_store(store: "ProfileStore", baseline_commit: str,
+                           candidate_commit: str,
+                           backend: Optional[str] = None
+                           ) -> Callable[[str, str], ProfilePair]:
+    """Attribution lookup over two commits in a profile store."""
+
+    def lookup(benchmark: str, size: str) -> ProfilePair:
+        base = store.latest_profile(baseline_commit, benchmark, size,
+                                    backend=backend)
+        cand = store.latest_profile(candidate_commit, benchmark, size,
+                                    backend=backend)
+        if base is None or cand is None:
+            return None
+        return base.sampled_profile(), cand.sampled_profile()
+
+    return lookup
+
+
+class ProfileStore:
+    """Common query/ingest logic over a backend entry iterator.
+
+    The contract mirrors :class:`~repro.core.history.HistoryStore`:
+    subclasses implement :meth:`_insert` (idempotent, returns newness)
+    and :meth:`_iter_entries` (insertion order), overriding
+    :meth:`_insert_many` when batch dedup can be amortized.
+    """
+
+    path: str
+
+    def record(self, result: SuiteResult,
+               commit: Optional[str] = None) -> List[ProfileEntry]:
+        """Ingest a sampled suite result; returns entries actually added."""
+        return self.record_entries(entries_from_result(result, commit=commit))
+
+    def record_entries(self,
+                       entries: Iterable[ProfileEntry]) -> List[ProfileEntry]:
+        return self._insert_many(list(entries))
+
+    def entries(self, commit: Optional[str] = None,
+                benchmark: Optional[str] = None,
+                size: Optional[str] = None,
+                backend: Optional[str] = None,
+                manifest_hash: Optional[str] = None) -> List[ProfileEntry]:
+        """Stored entries in insertion order, optionally filtered."""
+        out = []
+        for entry in self._iter_entries():
+            if commit is not None and entry.commit != commit:
+                continue
+            if benchmark is not None and entry.benchmark != benchmark:
+                continue
+            if size is not None and entry.size != size:
+                continue
+            if backend is not None and entry.backend != backend:
+                continue
+            if manifest_hash is not None and \
+                    entry.manifest_hash != manifest_hash:
+                continue
+            out.append(entry)
+        return out
+
+    def commits(self) -> List[str]:
+        """Distinct commits in first-recorded order (oldest first)."""
+        seen: List[str] = []
+        for entry in self._iter_entries():
+            if entry.commit not in seen:
+                seen.append(entry.commit)
+        return seen
+
+    def latest_commit_before(self, commit: str) -> Optional[str]:
+        """Most recently measured commit other than ``commit`` (or None).
+
+        Same recency discipline as the history store: ordered by each
+        commit's newest ``created`` stamp, insertion index as tie-break.
+        """
+        latest: Dict[str, Tuple[float, int]] = {}
+        for index, entry in enumerate(self._iter_entries()):
+            if entry.commit == commit:
+                continue
+            key = (created_sort_key(entry.created), index)
+            if entry.commit not in latest or key > latest[entry.commit]:
+                latest[entry.commit] = key
+        if not latest:
+            return None
+        return max(latest.items(), key=lambda item: item[1])[0]
+
+    def latest_profile(self, commit: str, benchmark: str, size: str,
+                       backend: Optional[str] = None
+                       ) -> Optional[ProfileEntry]:
+        """Newest stored profile for one cell at one commit (or None)."""
+        matches = self.entries(commit=commit, benchmark=benchmark,
+                               size=size, backend=backend)
+        if not matches:
+            return None
+        return max(
+            enumerate(matches),
+            key=lambda pair: (created_sort_key(pair[1].created), pair[0]),
+        )[1]
+
+    def close(self) -> None:
+        """Release any backend resources (no-op by default)."""
+
+    def __enter__(self) -> "ProfileStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # Backend contract -------------------------------------------------
+
+    def _insert(self, entry: ProfileEntry) -> bool:
+        raise NotImplementedError
+
+    def _insert_many(self, entries: List[ProfileEntry]) -> List[ProfileEntry]:
+        return [entry for entry in entries if self._insert(entry)]
+
+    def _iter_entries(self) -> Iterable[ProfileEntry]:
+        raise NotImplementedError
+
+
+class SqliteProfiles(ProfileStore):
+    """SQLite-backed profile store (the default).
+
+    The folded-stack payload is one JSON ``TEXT`` column beside the five
+    key columns; ``INSERT OR IGNORE`` against the unique key index makes
+    duplicate recordings database-level no-ops.
+    """
+
+    def __init__(self, path: str) -> None:
+        import sqlite3
+
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS profiles (
+                rowid_order INTEGER PRIMARY KEY AUTOINCREMENT,
+                commit_id TEXT NOT NULL,
+                benchmark TEXT NOT NULL,
+                size TEXT NOT NULL,
+                backend TEXT NOT NULL,
+                manifest_hash TEXT NOT NULL,
+                created TEXT NOT NULL,
+                profile TEXT NOT NULL,
+                UNIQUE (commit_id, benchmark, size, backend, manifest_hash)
+            )
+            """
+        )
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def _insert(self, entry: ProfileEntry) -> bool:
+        cursor = self._conn.execute(
+            """
+            INSERT OR IGNORE INTO profiles
+                (commit_id, benchmark, size, backend, manifest_hash,
+                 created, profile)
+            VALUES (?, ?, ?, ?, ?, ?, ?)
+            """,
+            (entry.commit, entry.benchmark, entry.size, entry.backend,
+             entry.manifest_hash, entry.created,
+             json.dumps(entry.profile, sort_keys=True)),
+        )
+        self._conn.commit()
+        return cursor.rowcount > 0
+
+    def _iter_entries(self) -> Iterable[ProfileEntry]:
+        rows = self._conn.execute(
+            """
+            SELECT commit_id, benchmark, size, backend, manifest_hash,
+                   created, profile
+            FROM profiles ORDER BY rowid_order
+            """
+        )
+        for row in rows:
+            yield ProfileEntry(
+                commit=row[0], benchmark=row[1], size=row[2], backend=row[3],
+                manifest_hash=row[4], created=row[5],
+                profile=json.loads(row[6]),
+            )
+
+
+class JsonlProfiles(ProfileStore):
+    """Append-only JSONL profile store (the portable fallback).
+
+    One schema-stamped JSON object per line; batch ingest builds the
+    existing-key set once (per-entry file scans would be quadratic), and
+    corrupt or truncated lines are skipped on read.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def _insert(self, entry: ProfileEntry) -> bool:
+        return bool(self._insert_many([entry]))
+
+    def _insert_many(self, entries: List[ProfileEntry]) -> List[ProfileEntry]:
+        existing = {e.key for e in self._iter_entries()}
+        added: List[ProfileEntry] = []
+        with open(self.path, "a", encoding="utf-8") as handle:
+            for entry in entries:
+                if entry.key in existing:
+                    continue
+                existing.add(entry.key)
+                line = json.dumps(
+                    {"schema": PROFILE_SCHEMA, **entry.to_dict()},
+                    sort_keys=True,
+                )
+                handle.write(line + "\n")
+                added.append(entry)
+        return added
+
+    def _iter_entries(self) -> Iterable[ProfileEntry]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    yield ProfileEntry.from_dict(payload)
+                except (ValueError, KeyError, TypeError):
+                    continue
+
+
+def open_profiles(path: str) -> ProfileStore:
+    """Open (creating if needed) the profile store at ``path``.
+
+    Same backend selection as :func:`~repro.core.history.open_history`:
+    ``*.jsonl`` forces the text backend, otherwise SQLite when the
+    stdlib module is importable.
+    """
+    if path.endswith(".jsonl"):
+        return JsonlProfiles(path)
+    try:
+        import sqlite3  # noqa: F401
+    except ImportError:
+        return JsonlProfiles(path)
+    return SqliteProfiles(path)

@@ -23,12 +23,14 @@ to the most recently recorded other commit.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .compare import SpeedupEntry
+from .flamediff import attribute_delta, diff_profiles
 from .history import HistoryEntry
 from .report import format_table
+from .sampling import SampledProfile
 from .types import InputSize, SuiteResult
 
 #: Machine-readable verdict schema written by :func:`report_to_dict`.
@@ -154,6 +156,11 @@ class RegressionEntry:
     baseline_stddev: Optional[float]
     candidate_stddev: Optional[float]
     status: str
+    #: Profile-diff attribution block (:func:`flamediff.attribute_delta`
+    #: output) attached by :func:`attribute_regressions` when both sides
+    #: of a regressed cell have a stored profile; ``None`` otherwise.
+    attribution: Optional[Dict[str, object]] = field(default=None,
+                                                     compare=False)
 
     @property
     def relative_change(self) -> float:
@@ -164,7 +171,7 @@ class RegressionEntry:
             / self.baseline_seconds
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "benchmark": self.benchmark,
             "size": self.size,
             "baseline_seconds": self.baseline_seconds,
@@ -174,6 +181,9 @@ class RegressionEntry:
             "relative_change": self.relative_change,
             "status": self.status,
         }
+        if self.attribution is not None:
+            payload["attribution"] = self.attribution
+        return payload
 
 
 @dataclass
@@ -264,6 +274,54 @@ def detect_regressions(baseline: CellMap, candidate: CellMap,
                             candidate_label=candidate_label)
 
 
+#: Lookup contract for attribution: (benchmark, size name) -> the
+#: (baseline, candidate) profile pair, or ``None`` when either side is
+#: missing.  Latency cells ("disparity[p99]") resolve through their base
+#: benchmark's profile — see :func:`base_benchmark`.
+ProfileLookup = Callable[[str, str],
+                         Optional[Tuple[SampledProfile, SampledProfile]]]
+
+
+def base_benchmark(cell_benchmark: str) -> str:
+    """Strip a latency-cell metric suffix: ``disparity[p99]`` -> ``disparity``.
+
+    Profiles are stored per benchmark, not per percentile; a tail-latency
+    regression attributes against the same kernel profile as the median.
+    """
+    index = cell_benchmark.find("[")
+    return cell_benchmark[:index] if index > 0 else cell_benchmark
+
+
+def attribute_regressions(report: RegressionReport,
+                          lookup: ProfileLookup,
+                          top: int = 3) -> int:
+    """Join profile diffs onto the report's regressed cells, in place.
+
+    For every cell the two-gate policy confirmed as a regression, the
+    lookup fetches the baseline/candidate profile pair; when both exist
+    the cell's verdict gains an ``attribution`` block naming the top-N
+    kernels and frames responsible and their share of the slowdown
+    (:func:`flamediff.attribute_delta`).  Cells without a profile on
+    either side keep ``attribution: None`` — the gate's verdict stands,
+    only unexplained.  Returns how many cells were attributed.
+    """
+    attributed = 0
+    entries: List[RegressionEntry] = []
+    for entry in report.entries:
+        if entry.status == STATUS_REGRESSION:
+            pair = lookup(base_benchmark(entry.benchmark), entry.size)
+            if pair is not None:
+                diff = diff_profiles(pair[0], pair[1],
+                                     baseline_label=report.baseline_label,
+                                     candidate_label=report.candidate_label)
+                entry = replace(
+                    entry, attribution=attribute_delta(diff, top=top))
+                attributed += 1
+        entries.append(entry)
+    report.entries = entries
+    return attributed
+
+
 def render_regressions(report: RegressionReport) -> str:
     """Human-readable verdict table plus a one-line summary."""
     if not report.entries:
@@ -306,6 +364,26 @@ def render_regressions(report: RegressionReport) -> str:
         )
     else:
         summary = "no confirmed regressions"
+    attributed = []
+    for entry in flagged:
+        if not entry.attribution:
+            continue
+        kernels = entry.attribution.get("kernels") or []
+        if not kernels:
+            attributed.append(
+                f"  {entry.benchmark}@{entry.size}: no kernel slowed "
+                "down in the sampled profile"
+            )
+            continue
+        top = kernels[0]
+        attributed.append(
+            f"  {entry.benchmark}@{entry.size}: {top['kernel']} "
+            f"{float(top['delta_seconds']):+.4f}s sampled "
+            f"({float(top['share_of_delta']) * 100:.0f}% of the slowdown)"
+        )
+    if attributed:
+        summary += "\nattribution (top kernel per regressed cell):\n" \
+            + "\n".join(attributed)
     return table + "\n" + summary
 
 

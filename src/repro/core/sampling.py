@@ -230,6 +230,11 @@ class SampledProfile:
     #: profiles, restored verbatim for profiles read back from exports
     #: (where the frame map itself is not serialized).
     observable: Optional[Tuple[str, ...]] = None
+    #: Distinct folded stacks cut by :meth:`to_dict`'s ``max_stacks``
+    #: cap.  Zero for live profiles (nothing has been cut from *this*
+    #: object); restored from the payload on :meth:`from_dict` so a
+    #: profile read back from an export knows it is partial.
+    stacks_truncated: int = 0
 
     def attribute(self, stack: Sequence[Frame]) -> str:
         """Instrumented kernel name for one stack (leaf→root, first hit).
@@ -296,6 +301,40 @@ class SampledProfile:
             return sorted(self.observable)
         return observable_kernels(self.frame_map)
 
+    def merge(self, other: "SampledProfile") -> None:
+        """Fold another profile's samples into this one, in place.
+
+        Every accumulator is a key-wise sum, so merging a set of
+        profiles in any order produces identical state — the property
+        the serve-side aggregates and the profile store's per-cell
+        variant merge rely on.  The interval keeps the finer of the two
+        (min is symmetric and associative); ``observable`` becomes the
+        union of both sides' attributable kernels.
+        """
+        self.interval = min(self.interval, other.interval)
+        self.samples += other.samples
+        self.stacks_truncated += other.stacks_truncated
+        for stack, seconds in other.folded.items():
+            self.folded[stack] = self.folded.get(stack, 0.0) + seconds
+        for kernel, seconds in other.kernel_seconds.items():
+            self.kernel_seconds[kernel] = \
+                self.kernel_seconds.get(kernel, 0.0) + seconds
+        for leaf, seconds in other.non_kernel_leaves.items():
+            self.non_kernel_leaves[leaf] = \
+                self.non_kernel_leaves.get(leaf, 0.0) + seconds
+        merged = set(self.observable_kernels()) | \
+            set(other.observable_kernels())
+        self.observable = tuple(sorted(merged))
+
+    @classmethod
+    def merged(cls, profiles: Iterable["SampledProfile"]
+               ) -> "SampledProfile":
+        """Merge any number of profiles into a fresh one (order-free)."""
+        out = cls(observable=())
+        for profile in profiles:
+            out.merge(profile)
+        return out
+
     # ------------------------------------------------------------------
     # Serialization (rides the schema-v5 export as a run's ``sampling``)
 
@@ -308,6 +347,7 @@ class SampledProfile:
         """
         ordered = sorted(self.folded.items(), key=lambda kv: (-kv[1], kv[0]))
         kept = ordered[:max_stacks]
+        truncated = self.stacks_truncated + (len(ordered) - len(kept))
         return {
             "interval_seconds": self.interval,
             "samples": self.samples,
@@ -319,6 +359,10 @@ class SampledProfile:
                 for stack, seconds in kept
             },
             "folded_dropped": len(ordered) - len(kept),
+            # ``folded_dropped`` is this serialization's cut;
+            # ``stacks_truncated`` carries cuts across round-trips, so a
+            # re-exported profile still reports the total loss.
+            "stacks_truncated": truncated,
             "non_kernel_top": [
                 [label, seconds] for label, seconds in self.non_kernel_top()
             ],
@@ -342,6 +386,9 @@ class SampledProfile:
                 for k, v in payload.get("kernel_seconds", {}).items()  # type: ignore[union-attr]
             },
             observable=tuple(payload.get("observable", ())),  # type: ignore[arg-type]
+            stacks_truncated=int(
+                payload.get("stacks_truncated",
+                            payload.get("folded_dropped", 0))),  # type: ignore[arg-type]
         )
         folded: Mapping[str, float] = payload.get("folded", {})  # type: ignore[assignment]
         for line, seconds in folded.items():

@@ -76,6 +76,13 @@ class EventLog:
     buffered nor written; the threshold is mutable at runtime.  All
     methods are thread-safe behind one lock — emitters are request
     handlers and worker threads.
+
+    A sink write error (full disk, closed file) disables the sink so it
+    can never take the server down — but *observably*: the error text is
+    kept as ``sink_error``, the monotonic ``sink_disabled`` counter
+    increments, a ``warning`` event lands in the ring buffer, and the
+    optional ``on_sink_disabled`` hook fires (the job manager points it
+    at its metrics registry so ``/metrics`` carries the loss).
     """
 
     def __init__(self, capacity: int = 2048,
@@ -95,6 +102,12 @@ class EventLog:
         self._start = 0  # ring read offset
         self.emitted = 0
         self.suppressed = 0
+        #: Times a file sink was disabled by a write error (monotonic).
+        self.sink_disabled = 0
+        #: The error that disabled the most recent sink, or ``None``.
+        self.sink_error: Optional[str] = None
+        #: Optional hook called with the error text on sink disable.
+        self.on_sink_disabled: Optional[Callable[[str], None]] = None
         self._file: Optional[io.TextIOBase] = None
         self._owns_file = False
         if sink is not None:
@@ -123,26 +136,51 @@ class EventLog:
         for key, value in fields.items():
             if value is not None:
                 record[key] = value
+        hook: Optional[Callable[[str], None]] = None
+        sink_error: Optional[str] = None
         with self._lock:
             if LEVELS.index(level) < LEVELS.index(self.level):
                 self.suppressed += 1
                 return None
             self.emitted += 1
-            if len(self._ring) < self.capacity:
-                self._ring.append(record)
-            else:
-                self._ring[self._start] = record
-                self._start = (self._start + 1) % self.capacity
+            self._append(record)
             if self._file is not None:
                 try:
                     self._file.write(json.dumps(record, sort_keys=True)
                                      + "\n")
                     self._file.flush()
-                except (OSError, ValueError):
+                except (OSError, ValueError) as exc:
                     # A full disk or a closed sink must never take the
                     # server down; the ring buffer still has the event.
+                    # But the loss must be *visible*: count it, keep the
+                    # reason, and leave a warning in the ring (bypassing
+                    # the level threshold — an operator silencing info
+                    # noise still needs to learn their log file died).
                     self._file = None
+                    self.sink_disabled += 1
+                    sink_error = f"{type(exc).__name__}: {exc}"
+                    self.sink_error = sink_error
+                    self.emitted += 1
+                    self._append({
+                        "ts": record["ts"],
+                        "level": "warning",
+                        "event": "events.sink_disabled",
+                        "error": sink_error,
+                    })
+                    hook = self.on_sink_disabled
+        if hook is not None and sink_error is not None:
+            # Outside the lock: the hook typically pokes a metrics
+            # registry with its own locking.
+            hook(sink_error)
         return record
+
+    def _append(self, record: Dict[str, object]) -> None:
+        """Ring-buffer append; caller must hold the lock."""
+        if len(self._ring) < self.capacity:
+            self._ring.append(record)
+        else:
+            self._ring[self._start] = record
+            self._start = (self._start + 1) % self.capacity
 
     def recent(self, limit: int = 100, level: Optional[str] = None,
                event: Optional[str] = None) -> List[Dict[str, object]]:
@@ -248,6 +286,14 @@ HELP_TEXT: Dict[str, str] = {
     "job.exec_seconds": "Seconds a worker spent executing a job",
     "job.seconds": "End-to-end executor seconds per completed job",
     "http.request_seconds": "HTTP request handling latency",
+    "events.sink_disabled":
+        "Event-log file sinks disabled after a write error",
+    "profile.jobs_sampled":
+        "Jobs whose execution the continuous profiler sampled",
+    "profile.samples":
+        "Stack samples collected by the continuous profiler",
+    "profile.overhead_pct":
+        "Measured continuous-profiler overhead, percent of execution time",
 }
 
 
@@ -540,6 +586,20 @@ def top_snapshot(info: Mapping[str, object],
     rejected = sum(
         float(value) for name, value in counters.items()  # type: ignore[arg-type]
         if str(name).startswith("rejected."))
+    profile: Optional[Dict[str, object]] = None
+    profile_info = info.get("profile")
+    if isinstance(profile_info, Mapping) and profile_info.get("enabled"):
+        profile = {
+            "jobs_sampled": int(profile_info.get("jobs_sampled", 0) or 0),  # type: ignore[arg-type]
+            "samples": int(profile_info.get("samples", 0) or 0),  # type: ignore[arg-type]
+            "overhead_pct": float(
+                profile_info.get("overhead_pct", 0.0) or 0.0),  # type: ignore[arg-type]
+            "job_types": sorted(profile_info.get("job_types", ())),  # type: ignore[arg-type]
+        }
+    events_info = info.get("events")
+    sink_disabled = 0
+    if isinstance(events_info, Mapping):
+        sink_disabled = int(events_info.get("sink_disabled", 0) or 0)  # type: ignore[arg-type]
     return {
         "queue_depth": int(float(gauges.get("queue_depth", 0) or 0)),  # type: ignore[arg-type]
         "saturated": bool(int(float(gauges.get("saturated", 0) or 0))),  # type: ignore[arg-type]
@@ -560,6 +620,8 @@ def top_snapshot(info: Mapping[str, object],
             if lookups else 0.0,
         },
         "rejected": int(rejected),
+        "sink_disabled": sink_disabled,
+        "profile": profile,
         "latency": latency,
     }
 
@@ -607,4 +669,18 @@ def render_top(snapshot: Mapping[str, object]) -> str:
                 f"  {job_type:<10} {label:<12} {int(summary['count']):>8}"
                 f" {_fmt_ms(summary['p50'])} {_fmt_ms(summary['p95'])}"
                 f" {_fmt_ms(summary['p99'])}")
+    profile: Optional[Mapping[str, object]] = snapshot.get("profile")  # type: ignore[assignment]
+    if profile:
+        types = ", ".join(str(t) for t in profile.get("job_types", ()))  # type: ignore[arg-type]
+        lines.append("")
+        lines.append(
+            f"  profiler   {int(profile.get('jobs_sampled', 0)):>4} job(s) "  # type: ignore[arg-type]
+            f"sampled   {int(profile.get('samples', 0)):>7} samples   "  # type: ignore[arg-type]
+            f"overhead {float(profile.get('overhead_pct', 0.0)):.2f}%"  # type: ignore[arg-type]
+            + (f"   [{types}]" if types else ""))
+    sink_disabled = int(snapshot.get("sink_disabled", 0) or 0)  # type: ignore[arg-type]
+    if sink_disabled:
+        lines.append("")
+        lines.append(f"  WARNING: event-log sink disabled "
+                     f"({sink_disabled} time(s)) — file logging lost")
     return "\n".join(lines) + "\n"

@@ -115,6 +115,60 @@ class TestGoldenStructure:
         assert "No runs in this export" in html
         assert "No trace recorded" in html
 
+    def test_flamediff_placeholder_without_diff(self):
+        html = render_html_report(synthetic_result())
+        assert 'id="flamediff"' in html
+        assert "sdvbs profile diff" in html
+
+    def test_flamediff_section_populated(self):
+        from repro.core.flamediff import diff_profiles
+        from repro.core.sampling import SampledProfile
+
+        base = SampledProfile(interval=0.001, samples=10,
+                              folded={("main", "ssd"): 0.004},
+                              kernel_seconds={"SSD": 0.004},
+                              observable=("SSD",))
+        cand = SampledProfile(interval=0.001, samples=10,
+                              folded={("main", "ssd"): 0.012},
+                              kernel_seconds={"SSD": 0.012},
+                              observable=("SSD",))
+        diff = diff_profiles(base, cand, baseline_label="aaa",
+                             candidate_label="bbb")
+        html = render_html_report(synthetic_result(), diff=diff)
+        assert "aaa" in html and "bbb" in html
+        assert "SSD" in html
+        assert 'class="diffbar"' in html
+        assert "delta-pos" in html
+        assert "Red grew" in html
+
+    def test_render_diff_html_standalone(self):
+        from repro.core.flamediff import diff_profiles
+        from repro.core.htmlreport import render_diff_html
+        from repro.core.sampling import SampledProfile
+
+        base = SampledProfile(interval=0.001, samples=10,
+                              folded={("main", "ssd"): 0.004},
+                              kernel_seconds={"SSD": 0.004},
+                              observable=("SSD",))
+        cand = SampledProfile(interval=0.001, samples=10,
+                              folded={("main", "ssd"): 0.002},
+                              kernel_seconds={"SSD": 0.002},
+                              observable=("SSD",))
+        diff = diff_profiles(base, cand)
+        html = render_diff_html(diff, title="my <diff> & title")
+        assert 'id="flamediff"' in html
+        assert "my &lt;diff&gt; &amp; title" in html
+        assert "delta-neg" in html
+        assert "http://" not in html and "<script" not in html.lower()
+
+    def test_truncation_note_rendered_when_stacks_dropped(self):
+        result = synthetic_result()
+        html = render_html_report(result)
+        assert "distinct stack(s) were dropped" not in html
+        result.runs[0].sampling["stacks_truncated"] = 12
+        html = render_html_report(result)
+        assert "12 distinct stack(s) were dropped" in html
+
     def test_trace_section_from_spans(self):
         from repro.core import TraceRecorder, run_benchmark
         from repro.core.registry import get_benchmark

@@ -1,0 +1,390 @@
+"""Tests for the persistent profile store and its CLI."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.core.history import manifest_hash
+from repro.core.profstore import (
+    PROFILE_SCHEMA,
+    JsonlProfiles,
+    ProfileEntry,
+    SqliteProfiles,
+    cell_profiles,
+    entries_from_result,
+    open_profiles,
+    pair_lookup_from_results,
+    pair_lookup_from_store,
+)
+from repro.core.sampling import SampledProfile
+from repro.core.types import BenchmarkRun, InputSize, SuiteResult
+
+
+def make_profile_dict(scale=1.0, samples=40):
+    """A small but realistic SampledProfile.to_dict payload."""
+    profile = SampledProfile(
+        interval=0.0002,
+        samples=samples,
+        folded={("main", "dispatch", "ssd"): 0.004 * scale,
+                ("main", "dispatch", "sort"): 0.002},
+        kernel_seconds={"SSD": 0.004 * scale, "Sort": 0.002},
+        observable=("SSD", "Sort"),
+    )
+    return profile.to_dict()
+
+
+def make_result(scale=1.0, backend="fast", created="2026-08-06T00:00:00",
+                sampled=True):
+    """A one-cell sampled suite result (demo@QCIF)."""
+    run = BenchmarkRun(
+        benchmark="demo",
+        size=InputSize.QCIF,
+        variant=0,
+        total_seconds=0.01 * scale,
+        kernel_seconds={"SSD": 0.004 * scale, "Sort": 0.002},
+        kernel_calls={"SSD": 1, "Sort": 1},
+    )
+    if sampled:
+        run.sampling = make_profile_dict(scale=scale)
+    result = SuiteResult()
+    result.runs.append(run)
+    result.manifest = {
+        "schema": "sdvbs-repro/manifest/v1",
+        "created": created,
+        "measurement": {"backend": backend, "repeats": 3},
+    }
+    return result
+
+
+def make_entry(commit="aaa", benchmark="demo", size="QCIF", backend="fast",
+               digest="deadbeef00000000", created="2026-08-06T00:00:00",
+               scale=1.0):
+    return ProfileEntry(
+        commit=commit, benchmark=benchmark, size=size, backend=backend,
+        manifest_hash=digest, created=created,
+        profile=make_profile_dict(scale=scale),
+    )
+
+
+class TestEntriesFromResult:
+    def test_one_entry_per_sampled_cell(self):
+        entries = entries_from_result(make_result(), commit="abc123")
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.commit == "abc123"
+        assert entry.benchmark == "demo"
+        assert entry.size == "QCIF"
+        assert entry.backend == "fast"
+        assert entry.created == "2026-08-06T00:00:00"
+        assert entry.manifest_hash == manifest_hash(
+            make_result().manifest)
+        assert entry.samples == 40
+
+    def test_unsampled_result_yields_nothing(self):
+        assert entries_from_result(make_result(sampled=False),
+                                   commit="abc123") == []
+
+    def test_variants_of_one_cell_merge(self):
+        result = make_result()
+        second = BenchmarkRun(
+            benchmark="demo", size=InputSize.QCIF, variant=1,
+            total_seconds=0.01,
+            kernel_seconds={"SSD": 0.004, "Sort": 0.002},
+            kernel_calls={"SSD": 1, "Sort": 1},
+        )
+        second.sampling = make_profile_dict(samples=10)
+        result.runs.append(second)
+        entries = entries_from_result(result, commit="abc123")
+        assert len(entries) == 1
+        assert entries[0].samples == 50
+
+    def test_round_trips_through_sampled_profile(self):
+        entries = entries_from_result(make_result(), commit="abc123")
+        profile = entries[0].sampled_profile()
+        assert profile.kernel_seconds["SSD"] == pytest.approx(0.004)
+        assert profile.samples == 40
+
+
+class TestMergeOrderIndependence:
+    def test_merged_is_commutative(self):
+        parts = [
+            SampledProfile(interval=0.0002, samples=10,
+                           folded={("m", "a"): 0.001},
+                           kernel_seconds={"A": 0.001},
+                           observable=("A",)),
+            SampledProfile(interval=0.0005, samples=20,
+                           folded={("m", "a"): 0.002, ("m", "b"): 0.003},
+                           kernel_seconds={"A": 0.002, "B": 0.003},
+                           observable=("B",)),
+            SampledProfile(interval=0.0002, samples=5,
+                           folded={("m", "b"): 0.004},
+                           kernel_seconds={"B": 0.004},
+                           observable=("A", "B")),
+        ]
+        payloads = []
+        for order in itertools.permutations(range(3)):
+            merged = SampledProfile.merged(parts[i] for i in order)
+            payloads.append(json.dumps(merged.to_dict(), sort_keys=True))
+        assert len(set(payloads)) == 1
+        merged = SampledProfile.merged(parts)
+        assert merged.samples == 35
+        assert merged.interval == pytest.approx(0.0002)
+        assert merged.folded[("m", "a")] == pytest.approx(0.003)
+        assert merged.kernel_seconds["B"] == pytest.approx(0.007)
+
+
+@pytest.fixture(params=["profiles.sqlite", "profiles.jsonl"])
+def store(request, tmp_path):
+    with open_profiles(str(tmp_path / request.param)) as opened:
+        yield opened
+
+
+class TestStoreRoundTrip:
+    def test_backend_selection(self, tmp_path):
+        sqlite_store = open_profiles(str(tmp_path / "p.sqlite"))
+        jsonl_store = open_profiles(str(tmp_path / "p.jsonl"))
+        try:
+            assert isinstance(sqlite_store, SqliteProfiles)
+            assert isinstance(jsonl_store, JsonlProfiles)
+        finally:
+            sqlite_store.close()
+            jsonl_store.close()
+
+    def test_record_and_read_back_exact(self, store):
+        entry = make_entry()
+        assert store.record_entries([entry]) == [entry]
+        stored = store.entries()
+        assert len(stored) == 1
+        assert stored[0] == entry
+        assert stored[0].profile == entry.profile
+
+    def test_reopen_persists(self, store):
+        store.record_entries([make_entry()])
+        with open_profiles(store.path) as reopened:
+            assert len(reopened.entries()) == 1
+
+    def test_duplicate_key_is_noop(self, store):
+        entry = make_entry()
+        store.record_entries([entry])
+        assert store.record_entries([make_entry(scale=9.0)]) == []
+        assert len(store.entries()) == 1
+        # First recording wins — the payload was not overwritten.
+        assert store.entries()[0].profile == entry.profile
+
+    def test_record_result_is_idempotent(self, store):
+        result = make_result()
+        assert len(store.record(result, commit="aaa")) == 1
+        assert store.record(result, commit="aaa") == []
+        assert len(store.entries()) == 1
+
+    def test_filters(self, store):
+        store.record_entries([
+            make_entry(commit="aaa"),
+            make_entry(commit="bbb"),
+            make_entry(commit="bbb", benchmark="mser"),
+            make_entry(commit="bbb", backend="ref"),
+        ])
+        assert len(store.entries(commit="bbb")) == 3
+        assert len(store.entries(commit="bbb", benchmark="demo")) == 2
+        assert len(store.entries(backend="ref")) == 1
+        assert store.entries(commit="zzz") == []
+
+    def test_commits_first_recorded_order(self, store):
+        store.record_entries([
+            make_entry(commit="bbb"),
+            make_entry(commit="aaa"),
+            make_entry(commit="bbb", benchmark="mser"),
+        ])
+        assert store.commits() == ["bbb", "aaa"]
+
+    def test_latest_commit_before_by_created(self, store):
+        store.record_entries([
+            make_entry(commit="old", created="2026-08-01T00:00:00"),
+            make_entry(commit="new", created="2026-08-05T00:00:00"),
+        ])
+        assert store.latest_commit_before("head") == "new"
+        assert store.latest_commit_before("new") == "old"
+
+    def test_latest_commit_before_empty(self, store):
+        assert store.latest_commit_before("head") is None
+
+    def test_latest_profile_picks_newest(self, store):
+        store.record_entries([
+            make_entry(digest="d1", created="2026-08-01T00:00:00",
+                       scale=1.0),
+            make_entry(digest="d2", created="2026-08-05T00:00:00",
+                       scale=2.0),
+        ])
+        latest = store.latest_profile("aaa", "demo", "QCIF")
+        assert latest is not None
+        assert latest.manifest_hash == "d2"
+        assert store.latest_profile("aaa", "demo", "CIF") is None
+        assert store.latest_profile("aaa", "demo", "QCIF",
+                                    backend="ref") is None
+
+
+class TestJsonlFormat:
+    def test_lines_are_schema_stamped(self, tmp_path):
+        path = str(tmp_path / "p.jsonl")
+        with open_profiles(path) as store:
+            store.record_entries([make_entry()])
+        with open(path, encoding="utf-8") as handle:
+            payload = json.loads(handle.readline())
+        assert payload["schema"] == PROFILE_SCHEMA
+        assert payload["commit"] == "aaa"
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "p.jsonl")
+        with open_profiles(path) as store:
+            store.record_entries([make_entry()])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n{\"schema\": \"half\n")
+        with open_profiles(path) as store:
+            assert len(store.entries()) == 1
+
+
+class TestPairLookups:
+    def test_from_results_requires_both_sides(self):
+        lookup = pair_lookup_from_results(make_result(),
+                                          make_result(scale=3.0))
+        pair = lookup("demo", "QCIF")
+        assert pair is not None
+        base, cand = pair
+        assert cand.kernel_seconds["SSD"] == \
+            pytest.approx(3 * base.kernel_seconds["SSD"])
+        assert lookup("demo", "CIF") is None
+        assert lookup("mser", "QCIF") is None
+
+    def test_from_results_unsampled_side_yields_none(self):
+        lookup = pair_lookup_from_results(make_result(sampled=False),
+                                          make_result())
+        assert lookup("demo", "QCIF") is None
+
+    def test_from_store(self, store):
+        store.record_entries([
+            make_entry(commit="aaa", scale=1.0),
+            make_entry(commit="bbb", scale=3.0),
+        ])
+        lookup = pair_lookup_from_store(store, "aaa", "bbb")
+        pair = lookup("demo", "QCIF")
+        assert pair is not None
+        base, cand = pair
+        assert cand.kernel_seconds["SSD"] == \
+            pytest.approx(3 * base.kernel_seconds["SSD"])
+        assert lookup("demo", "CIF") is None
+        miss = pair_lookup_from_store(store, "aaa", "zzz")
+        assert miss("demo", "QCIF") is None
+
+
+class TestCellProfiles:
+    def test_empty_for_unsampled(self):
+        assert cell_profiles(make_result(sampled=False)) == {}
+
+    def test_keyed_by_benchmark_and_size_name(self):
+        cells = cell_profiles(make_result())
+        assert set(cells) == {("demo", "QCIF")}
+        assert cells[("demo", "QCIF")].samples == 40
+
+
+class TestCliProfile:
+    def _write(self, path, result):
+        from repro.core.export import result_to_json
+
+        path.write_text(result_to_json(result))
+        return str(path)
+
+    def test_record_list_show(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        db = str(tmp_path / "profiles.sqlite")
+        export = self._write(tmp_path / "r.json", make_result())
+        assert cli_main(["profile", "record", export, "--db", db,
+                         "--commit", "aaaa000"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 1 new profile(s)" in out
+
+        assert cli_main(["profile", "list", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "aaaa000" in out and "demo" in out
+
+        assert cli_main(["profile", "show", "aaaa", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out and "QCIF" in out and "SSD" in out
+
+    def test_record_unsampled_export_exits_two(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        db = str(tmp_path / "profiles.sqlite")
+        export = self._write(tmp_path / "r.json",
+                             make_result(sampled=False))
+        assert cli_main(["profile", "record", export, "--db", db,
+                         "--commit", "aaaa000"]) == 2
+        assert "no sampling payloads" in capsys.readouterr().err
+
+    def test_record_warns_on_truncated_stacks(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        result = make_result()
+        result.runs[0].sampling["stacks_truncated"] = 7
+        db = str(tmp_path / "profiles.sqlite")
+        export = self._write(tmp_path / "r.json", result)
+        assert cli_main(["profile", "record", export, "--db", db,
+                         "--commit", "aaaa000"]) == 0
+        assert "stack(s) dropped" in capsys.readouterr().err
+
+    def test_show_unknown_and_ambiguous_prefix(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        db = str(tmp_path / "profiles.sqlite")
+        with open_profiles(db) as store:
+            store.record_entries([make_entry(commit="abc111"),
+                                  make_entry(commit="abc222")])
+        assert cli_main(["profile", "show", "zzz", "--db", db]) == 2
+        capsys.readouterr()
+        assert cli_main(["profile", "show", "abc", "--db", db]) == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_diff_renders_and_writes_artifacts(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        from repro.core.flamediff import FLAMEDIFF_SCHEMA
+
+        db = str(tmp_path / "profiles.sqlite")
+        base = self._write(tmp_path / "base.json", make_result(scale=1.0))
+        slow = self._write(tmp_path / "slow.json", make_result(scale=3.0))
+        assert cli_main(["profile", "record", base, "--db", db,
+                         "--commit", "aaaa000"]) == 0
+        assert cli_main(["profile", "record", slow, "--db", db,
+                         "--commit", "bbbb111"]) == 0
+        capsys.readouterr()
+
+        out_path = tmp_path / "diff.collapsed"
+        html_path = tmp_path / "diff.html"
+        json_path = tmp_path / "diff.json"
+        assert cli_main(["profile", "diff", "aaaa", "bbbb",
+                         "--benchmark", "demo", "--size", "qcif",
+                         "--db", db,
+                         "--out", str(out_path),
+                         "--html", str(html_path),
+                         "--json-out", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "SSD" in out
+
+        assert "+8000" in out_path.read_text()
+        html = html_path.read_text()
+        assert "flamediff" in html and "SSD" in html
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == FLAMEDIFF_SCHEMA
+        assert payload["kernels"][0]["kernel"] == "SSD"
+
+    def test_diff_missing_cell_exits_two(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        db = str(tmp_path / "profiles.sqlite")
+        with open_profiles(db) as store:
+            store.record_entries([make_entry(commit="aaaa000"),
+                                  make_entry(commit="bbbb111")])
+        assert cli_main(["profile", "diff", "aaaa", "bbbb",
+                         "--benchmark", "mser", "--size", "qcif",
+                         "--db", db]) == 2
+        assert "no profile" in capsys.readouterr().err

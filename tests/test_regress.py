@@ -265,3 +265,92 @@ class TestCliRegress:
         missing = str(tmp_path / "nope.json")
         assert cli_main(["regress", missing,
                          "--db", str(tmp_path / "h.sqlite")]) == 2
+
+
+def make_sampled_result(total=1.0, noise=0.01, kernel_scale=1.0):
+    """A regressable result whose run also carries a sampling profile."""
+    from repro.core.sampling import SampledProfile
+
+    result = make_result(total=total, noise=noise)
+    profile = SampledProfile(
+        interval=0.001,
+        samples=20,
+        folded={("main", "ssd"): 0.004 * kernel_scale,
+                ("main", "sort"): 0.002},
+        kernel_seconds={"SSD": 0.004 * kernel_scale, "Sort": 0.002},
+        observable=("SSD", "Sort"),
+    )
+    result.runs[0].sampling = profile.to_dict()
+    result.manifest = {
+        "schema": "sdvbs-repro/manifest/v1",
+        "created": "2026-08-06T00:00:00",
+        "measurement": {"backend": "fast", "repeats": 3},
+    }
+    return result
+
+
+class TestCliAttribute:
+    def _write(self, path, result):
+        path.write_text(result_to_json(result))
+        return str(path)
+
+    def test_export_vs_export_names_guilty_kernel(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        base = self._write(tmp_path / "base.json",
+                           make_sampled_result(total=1.0))
+        slow = self._write(tmp_path / "slow.json",
+                           make_sampled_result(total=1.5, kernel_scale=1.5))
+        verdict = tmp_path / "verdict.json"
+        assert cli_main(["regress", slow, "--against", base,
+                         "--attribute", "--json-out", str(verdict)]) == 1
+        out = capsys.readouterr().out
+        assert "attribution" in out and "SSD" in out
+        payload = json.loads(verdict.read_text())
+        cell = payload["cells"][0]
+        assert cell["status"] == STATUS_REGRESSION
+        attribution = cell["attribution"]
+        assert attribution["kernels"][0]["kernel"] == "SSD"
+        assert attribution["kernels"][0]["share_of_delta"] == \
+            pytest.approx(1.0)
+
+    def test_attribute_without_profiles_warns(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        base = self._write(tmp_path / "base.json", make_result(total=1.0))
+        slow = self._write(tmp_path / "slow.json", make_result(total=1.5))
+        verdict = tmp_path / "verdict.json"
+        assert cli_main(["regress", slow, "--against", base,
+                         "--attribute", "--json-out", str(verdict)]) == 1
+        assert "no profile pair" in capsys.readouterr().err
+        cell = json.loads(verdict.read_text())["cells"][0]
+        assert "attribution" not in cell
+
+    def test_history_mode_attributes_from_store(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        from repro.core.profstore import open_profiles
+
+        db = str(tmp_path / "history.sqlite")
+        profiles = str(tmp_path / "profiles.sqlite")
+        baseline = make_sampled_result(total=1.0)
+        with SqliteHistory(db) as store:
+            store.record(baseline, commit="good-commit")
+        with open_profiles(profiles) as store:
+            store.record(baseline, commit="good-commit")
+        slow = self._write(tmp_path / "slow.json",
+                           make_sampled_result(total=1.5, kernel_scale=1.5))
+        verdict = tmp_path / "verdict.json"
+        assert cli_main(["regress", slow, "--db", db,
+                         "--commit", "bad-commit", "--attribute",
+                         "--profiles", profiles,
+                         "--json-out", str(verdict)]) == 1
+        cell = json.loads(verdict.read_text())["cells"][0]
+        assert cell["attribution"]["kernels"][0]["kernel"] == "SSD"
+
+    def test_attribute_on_clean_run_is_silent_noop(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        export = self._write(tmp_path / "r.json", make_sampled_result())
+        assert cli_main(["regress", export, "--against", export,
+                         "--attribute"]) == 0
+        assert "no profile pair" not in capsys.readouterr().err

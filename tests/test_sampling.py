@@ -159,6 +159,43 @@ class TestSampledProfile:
         assert len(payload["folded"]) == 5
         assert payload["folded_dropped"] == 15
 
+    def test_stacks_truncated_accumulates_across_round_trips(self):
+        profile = SampledProfile()
+        for i in range(20):
+            profile.add((("m", f"f{i}", "/m.py"),), 0.001)
+        first = profile.to_dict(max_stacks=10)
+        assert first["stacks_truncated"] == 10
+        restored = SampledProfile.from_dict(first)
+        assert restored.stacks_truncated == 10
+        # A tighter second export adds its own cut to the running count.
+        second = restored.to_dict(max_stacks=5)
+        assert second["folded_dropped"] == 5
+        assert second["stacks_truncated"] == 15
+        assert SampledProfile.from_dict(second).stacks_truncated == 15
+
+    def test_stacks_truncated_zero_when_uncapped(self):
+        profile = SampledProfile()
+        profile.add((("m", "f", "/m.py"),), 0.001)
+        payload = profile.to_dict()
+        assert payload["stacks_truncated"] == 0
+        assert payload["folded_dropped"] == 0
+
+    def test_legacy_payload_falls_back_to_folded_dropped(self):
+        profile = SampledProfile()
+        for i in range(8):
+            profile.add((("m", f"f{i}", "/m.py"),), 0.001)
+        payload = profile.to_dict(max_stacks=4)
+        del payload["stacks_truncated"]  # pre-v6 export shape
+        assert SampledProfile.from_dict(payload).stacks_truncated == 4
+
+    def test_merge_sums_truncation_counts(self):
+        left = SampledProfile(observable=())
+        left.stacks_truncated = 3
+        right = SampledProfile(observable=())
+        right.stacks_truncated = 4
+        merged = SampledProfile.merged([left, right])
+        assert merged.stacks_truncated == 7
+
 
 class TestStackSampler:
     def test_deterministic_sample_counts(self):

@@ -821,6 +821,190 @@ class TestManagerTelemetry:
             manager.stop()
 
 
+class TestContinuousProfiler:
+    """Unit-level continuous-profiler behavior (no live server)."""
+
+    def test_overhead_audit_shape(self):
+        from repro.core.jobs import measure_sampler_overhead
+
+        audit = measure_sampler_overhead(0.005, work_seconds=0.01,
+                                         passes=2)
+        assert set(audit) == {"interval_seconds", "work_seconds",
+                              "passes", "overhead_pct"}
+        assert audit["interval_seconds"] == 0.005
+        assert audit["passes"] == 2.0
+        assert audit["overhead_pct"] >= 0.0
+
+    def test_overhead_audit_validates_args(self):
+        from repro.core.jobs import measure_sampler_overhead
+
+        with pytest.raises(ValueError):
+            measure_sampler_overhead(0.0)
+        with pytest.raises(ValueError):
+            measure_sampler_overhead(0.005, passes=0)
+
+    def test_disabled_audit_is_deterministic(self):
+        from repro.core.jobs import ContinuousProfiler
+
+        profiler = ContinuousProfiler(interval=0.005,
+                                      measure_overhead=False)
+        assert profiler.overhead["overhead_pct"] == 0.0
+        assert profiler.audit_block() == profiler.overhead
+        assert profiler.audit_block() is not profiler.overhead
+
+    def test_interval_must_be_positive(self):
+        from repro.core.jobs import ContinuousProfiler
+
+        with pytest.raises(ValueError):
+            ContinuousProfiler(interval=0.0, measure_overhead=False)
+
+    def test_record_merges_per_type_aggregates(self):
+        from repro.core.jobs import ContinuousProfiler
+        from repro.core.sampling import SampledProfile
+
+        profiler = ContinuousProfiler(interval=0.005,
+                                      measure_overhead=False)
+        one = SampledProfile(interval=0.005, samples=4,
+                             folded={("m", "a"): 0.02},
+                             kernel_seconds={"A": 0.02},
+                             observable=("A",))
+        two = SampledProfile(interval=0.005, samples=6,
+                             folded={("m", "a"): 0.03},
+                             kernel_seconds={"A": 0.03},
+                             observable=("A",))
+        profiler.record("run", one)
+        profiler.record("run", two)
+        profiler.record("report", one)
+        assert profiler.jobs_sampled == 3
+        assert profiler.samples == 14
+        assert profiler.job_types() == ["report", "run"]
+        collapsed = profiler.collapsed("run")
+        assert collapsed is not None and "m;a" in collapsed
+        assert profiler.collapsed("flame") is None
+
+        snapshot = profiler.snapshot()
+        assert snapshot["enabled"] is True
+        run = snapshot["types"]["run"]
+        assert run["samples"] == 10
+        assert run["artifact"] == "/artifacts/profile/run.collapsed"
+        only = profiler.snapshot(job_type="report")
+        assert set(only["types"]) == {"report"}
+
+    def test_manager_without_profiler_reports_disabled(self, tmp_path):
+        manager = JobManager(workers=1, work_dir=str(tmp_path),
+                             executor=GatedExecutor())
+        assert manager.profiler is None
+        assert manager.profile_snapshot() == {"enabled": False}
+        assert manager.info()["profile"] == {"enabled": False}
+        assert manager.info()["config"]["profile_interval"] == 0.0
+
+    def test_sink_disable_hook_reaches_metrics(self, tmp_path):
+        from repro.core.telemetry import EventLog
+
+        events = EventLog(sink=str(tmp_path / "events.jsonl"))
+        manager = JobManager(workers=1, work_dir=str(tmp_path / "work"),
+                             executor=GatedExecutor(), events=events)
+        assert manager.metrics.counters["events.sink_disabled"] == 0
+        events._file.close()
+        events.emit("boom")
+        assert manager.metrics.counters["events.sink_disabled"] == 1
+        info = manager.info()
+        assert info["events"]["sink_disabled"] == 1
+        assert "ValueError" in info["events"]["sink_error"]
+
+
+@pytest.fixture(scope="class")
+def profiled_server(request, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("profserve")
+    bench = make_server(port=0, workers=2, max_queue=8,
+                        history_db=str(tmp / "history.sqlite"),
+                        work_dir=str(tmp / "work"),
+                        profile_interval=0.002)
+    bench.start()
+    request.cls.server = bench
+    request.cls.url = bench.url
+    yield bench
+    bench.stop()
+
+
+@pytest.mark.usefixtures("profiled_server")
+class TestProfiledServer:
+    def _run_one_job(self):
+        status, body = rpc_call(self.url, "job.submit",
+                                {"spec": dict(RUN_SPEC)})
+        assert status == 200, body
+        job_id = body["result"]["id"]
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            _, body = rpc_call(self.url, "job.status", {"id": job_id})
+            if body["result"]["state"] in ("done", "failed"):
+                assert body["result"]["state"] == "done", body
+                return job_id
+            time.sleep(0.05)
+        raise AssertionError("job never finished")
+
+    def test_profile_rpc_artifact_and_manifest(self):
+        job_id = self._run_one_job()
+
+        _, body = rpc_call(self.url, "server.profile")
+        snapshot = body["result"]
+        assert snapshot["enabled"] is True
+        assert snapshot["interval_seconds"] == 0.002
+        assert snapshot["jobs_sampled"] >= 1
+        assert snapshot["schema"] == "sdvbs-repro/serve/v1"
+        run = snapshot["types"]["run"]
+        assert run["artifact"] == "/artifacts/profile/run.collapsed"
+
+        # The aggregate flamegraph streams over plain GET.
+        with urllib.request.urlopen(self.url + run["artifact"]) as resp:
+            text = resp.read().decode("utf-8")
+        assert resp.status == 200
+        if run["samples"]:
+            assert text.strip()
+
+        # The served export's manifest records the profiler audit.
+        _, body = rpc_call(self.url, "job.result", {"id": job_id})
+        artifact = body["result"]["artifacts"]["export.json"]
+        with urllib.request.urlopen(self.url + artifact) as resp:
+            export = json.loads(resp.read())
+        audit = export["manifest"]["continuous_profiler"]
+        assert audit["interval_seconds"] == 0.002
+        assert audit["overhead_pct"] >= 0.0
+
+        # server.info and /metrics surface the same numbers.
+        _, body = rpc_call(self.url, "server.info")
+        info = body["result"]
+        assert info["profile"]["enabled"] is True
+        assert info["profile"]["jobs_sampled"] >= 1
+        assert info["config"]["profile_interval"] == 0.002
+        with urllib.request.urlopen(self.url + "/metrics") as resp:
+            exposition = resp.read().decode("utf-8")
+        assert "sdvbs_profile_jobs_sampled" in exposition
+        assert "sdvbs_profile_samples" in exposition
+        assert "sdvbs_profile_overhead_pct" in exposition
+        assert "sdvbs_events_sink_disabled" in exposition
+        from repro.core.telemetry import lint_exposition
+
+        lint_exposition(exposition)
+
+    def test_profile_rpc_validates_top(self):
+        status, body = rpc_call(self.url, "server.profile", {"top": 0})
+        assert body["error"]["code"] == INVALID_PARAMS
+        status, body = rpc_call(self.url, "server.profile",
+                                {"top": True})
+        assert body["error"]["code"] == INVALID_PARAMS
+
+    def test_unknown_profile_artifact_is_404(self):
+        for path in ("/artifacts/profile/ghost.collapsed",
+                     "/artifacts/profile/run.svg"):
+            try:
+                urllib.request.urlopen(self.url + path)
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+            else:
+                raise AssertionError(f"{path} should 404")
+
+
 class TestServeCli:
     def test_nonpositive_args_exit_2(self, capsys):
         for argv in (["serve", "--workers", "0"],

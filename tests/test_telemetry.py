@@ -104,7 +104,43 @@ class TestEventLog:
         sink.close()
         record = log.emit("survives")
         assert record is not None
-        assert [r["event"] for r in log.recent()] == ["survives"]
+        # The event survives in the ring, followed by the self-disable
+        # warning the log leaves so the loss is visible.
+        assert [r["event"] for r in log.recent()] \
+            == ["survives", "events.sink_disabled"]
+
+    def test_sink_disable_counts_and_keeps_reason(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink)
+        assert log.sink_disabled == 0
+        assert log.sink_error is None
+        sink.close()
+        log.emit("boom")
+        assert log.sink_disabled == 1
+        assert "ValueError" in log.sink_error
+        # The sink is dropped after the first failure; later emits go
+        # only to the ring and the counter does not keep climbing.
+        log.emit("after")
+        assert log.sink_disabled == 1
+
+    def test_sink_disable_warning_bypasses_level_threshold(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink, level="error")
+        sink.close()
+        log.emit("fails", level="error")
+        warnings = log.recent(event="events.sink_disabled")
+        assert len(warnings) == 1
+        assert warnings[0]["level"] == "warning"
+        assert "ValueError" in warnings[0]["error"]
+
+    def test_sink_disable_hook_fires_with_reason(self):
+        seen = []
+        sink = io.StringIO()
+        log = EventLog(sink=sink)
+        log.on_sink_disabled = seen.append
+        sink.close()
+        log.emit("boom")
+        assert len(seen) == 1 and "ValueError" in seen[0]
 
     def test_to_jsonl_round_trips(self):
         log = EventLog()
@@ -370,6 +406,41 @@ class TestTopView:
         info, metrics = self._fake_payloads()
         info["shutting_down"] = True
         assert "DRAINING" in render_top(top_snapshot(info, metrics))
+
+    def test_snapshot_profile_block_only_when_enabled(self):
+        info, metrics = self._fake_payloads()
+        assert top_snapshot(info, metrics)["profile"] is None
+        info["profile"] = {"enabled": False, "jobs_sampled": 3}
+        assert top_snapshot(info, metrics)["profile"] is None
+        info["profile"] = {"enabled": True, "jobs_sampled": 3,
+                           "samples": 120, "overhead_pct": 0.4,
+                           "job_types": ["run", "report"]}
+        profile = top_snapshot(info, metrics)["profile"]
+        assert profile == {"jobs_sampled": 3, "samples": 120,
+                           "overhead_pct": 0.4,
+                           "job_types": ["report", "run"]}
+
+    def test_snapshot_sink_disabled_from_events(self):
+        info, metrics = self._fake_payloads()
+        assert top_snapshot(info, metrics)["sink_disabled"] == 0
+        info["events"] = {"emitted": 10, "sink_disabled": 2}
+        assert top_snapshot(info, metrics)["sink_disabled"] == 2
+
+    def test_render_profiler_line_and_sink_warning(self):
+        info, metrics = self._fake_payloads()
+        info["profile"] = {"enabled": True, "jobs_sampled": 3,
+                           "samples": 120, "overhead_pct": 0.37,
+                           "job_types": ["run"]}
+        info["events"] = {"sink_disabled": 1}
+        text = render_top(top_snapshot(info, metrics))
+        assert "profiler      3 job(s) sampled" in text
+        assert "overhead 0.37%" in text and "[run]" in text
+        assert "WARNING: event-log sink disabled (1 time(s))" in text
+
+    def test_render_quiet_without_profiler_or_sink_loss(self):
+        text = render_top(top_snapshot(*self._fake_payloads()))
+        assert "profiler" not in text
+        assert "WARNING" not in text
 
 
 class TestRegistrySnapshots:
